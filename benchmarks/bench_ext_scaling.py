@@ -1,0 +1,44 @@
+"""Extension bench: distributed scaling study (the paper's future-work
+"comprehensive performance study ... in a distributed-memory parallel
+setting"), modeled over the Fig 7 configuration's hardware."""
+
+import pytest
+from conftest import write_artifact
+
+from repro.experiments import format_scaling, strong_scaling, weak_scaling
+
+
+def test_scaling_artifact(results_dir, benchmark):
+    strong = benchmark.pedantic(
+        strong_scaling, kwargs=dict(rank_counts=(64, 128, 256, 512, 1024)),
+        rounds=1, iterations=1)
+    weak = weak_scaling(rank_counts=(32, 64, 128, 256))
+    content = (format_scaling(strong, kind="strong") + "\n\n"
+               + format_scaling(weak, kind="weak"))
+    write_artifact(results_dir, "ext_scaling.txt", content)
+
+    # strong scaling: halving work per rank halves the makespan (within a
+    # few % — ghost-layer asymmetry between corner and interior blocks)
+    for a, b in zip(strong, strong[1:]):
+        assert b.makespan == pytest.approx(a.makespan / 2, rel=0.05)
+    # weak scaling: flat makespan
+    base = weak[0].makespan
+    for point in weak[1:]:
+        assert point.makespan == pytest.approx(base, rel=0.05)
+    # nobody runs out of memory anywhere in either study
+    assert all(p.failed_ranks == 0 for p in (*strong, *weak))
+
+
+def test_strong_scaling_memory_constant(benchmark):
+    """More ranks never need more per-device memory (each still holds one
+    ghosted block at a time)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    points = strong_scaling(rank_counts=(128, 512))
+    assert points[1].mem_per_rank == pytest.approx(
+        points[0].mem_per_rank, rel=0.02)
+
+
+def test_invalid_rank_count_rejected(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with pytest.raises(ValueError, match="divide"):
+        strong_scaling(rank_counts=(100,))

@@ -1,0 +1,28 @@
+"""Regenerates Fig 4: the Q-criterion dataflow network, as Graphviz DOT
+(the paper's figure is a drawing of exactly this graph)."""
+
+from conftest import write_artifact
+
+from repro.analysis.vortex import Q_CRITERION
+from repro.dataflow import Network, render_dot
+from repro.expr import eliminate_common_subexpressions, lower, parse
+
+
+def test_fig4_artifact(results_dir, benchmark):
+    def build():
+        spec, _ = lower(parse(Q_CRITERION))
+        return eliminate_common_subexpressions(spec)
+
+    spec = benchmark.pedantic(build, rounds=3, iterations=1)
+    dot = render_dot(spec, graph_name="q_criterion")
+    write_artifact(results_dir, "fig4_network.dot", dot)
+
+    # structural checks matching the paper's description of the network
+    assert dot.count('label="grad3d') == 3
+    assert dot.count("decompose[") == 9
+    assert dot.count('"u"') >= 1 and '"dims"' in dot
+    assert 'label="0.5"' in dot        # the pooled constant
+    assert "q_crit" in dot             # user naming survives to the figure
+    net = Network(spec)
+    edge_count = dot.count(" -> ")
+    assert edge_count >= len(net)      # every input edge drawn

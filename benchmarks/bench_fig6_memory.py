@@ -1,0 +1,68 @@
+"""Regenerates Fig 6: device-memory high-water mark vs data size, with the
+M2050's 3 GiB limit and the failed GPU cases, plus a wall-clock benchmark
+of the dry-run planner itself."""
+
+import pytest
+from conftest import write_artifact
+
+from repro.analysis.vortex import EXPRESSIONS
+from repro.clsim import GIB, NVIDIA_M2050_GPU
+from repro.experiments import format_fig_series
+from repro.experiments.sweep import run_case
+from repro.workloads import TABLE1_SUBGRIDS
+
+
+def test_fig6_artifact(paper_sweep, results_dir, benchmark):
+    def build():
+        return [format_fig_series(paper_sweep, metric="memory",
+                                  expression=e) for e in EXPRESSIONS]
+
+    panels = benchmark.pedantic(build, rounds=3, iterations=1)
+    write_artifact(results_dir, "fig6_memory.txt", "\n\n".join(panels))
+
+    limit = NVIDIA_M2050_GPU.global_mem_bytes
+    cpu_rows = [r for r in paper_sweep if r.device == "cpu"]
+    # linear growth: the largest grid needs 12x the smallest's memory
+    for expression in EXPRESSIONS:
+        for executor in ("roundtrip", "staged", "fusion", "reference"):
+            rows = sorted((r for r in cpu_rows
+                           if (r.expression, r.executor)
+                           == (expression, executor)),
+                          key=lambda r: r.n_cells)
+            ratio = rows[-1].mem_high_water / rows[0].mem_high_water
+            assert ratio == pytest.approx(12.0, rel=0.02)
+    # every GPU failure sits above the green line (via its CPU twin)
+    for row in paper_sweep:
+        if row.device != "gpu" or not row.failed:
+            continue
+        twin = next(r for r in cpu_rows
+                    if (r.expression, r.executor, r.grid)
+                    == (row.expression, row.executor, row.grid))
+        assert twin.mem_high_water > limit
+
+
+def test_fig6_memory_orderings(paper_sweep, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    largest = TABLE1_SUBGRIDS[-1]
+    rows = {(r.expression, r.executor): r for r in paper_sweep
+            if r.device == "cpu" and r.grid == largest}
+    for expression in ("vorticity_magnitude", "q_criterion"):
+        staged = rows[(expression, "staged")].mem_high_water
+        rtrip = rows[(expression, "roundtrip")].mem_high_water
+        fusion = rows[(expression, "fusion")].mem_high_water
+        ref = rows[(expression, "reference")].mem_high_water
+        assert staged > rtrip > fusion == ref
+    velmag = {e: rows[("velocity_magnitude", e)].mem_high_water
+              for e in ("roundtrip", "staged", "fusion", "reference")}
+    assert velmag["roundtrip"] == min(velmag.values())
+
+
+@pytest.mark.parametrize("executor", ["roundtrip", "staged", "fusion"])
+def test_bench_planner(benchmark, executor):
+    """Wall-clock cost of planning one full-scale Q-criterion case — the
+    operation the memory study runs 288 times."""
+    result = benchmark(run_case, "q_criterion", TABLE1_SUBGRIDS[-1],
+                       "cpu", executor)
+    assert not result.failed
+    benchmark.extra_info["mem_high_water_gib"] = \
+        result.mem_high_water / GIB

@@ -1,0 +1,43 @@
+"""Front-end benches: LALR(1) table construction, expression parsing,
+lowering, and CSE — the per-expression costs an in-situ host pays once,
+amortized over every time step (Section III-D's usage model)."""
+
+import pytest
+
+from repro.analysis.vortex import EXPRESSIONS, Q_CRITERION
+from repro.expr import eliminate_common_subexpressions, lower, parse
+from repro.expr.grammar import expression_grammar
+from repro.lexyacc import build_lalr_table
+
+
+def test_bench_lalr_table_construction(benchmark):
+    """Building the ACTION/GOTO tables (once per process)."""
+    grammar = expression_grammar()
+    table = benchmark(build_lalr_table, grammar)
+    assert table.conflicts == []
+
+
+@pytest.mark.parametrize("name", sorted(EXPRESSIONS))
+def test_bench_parse(benchmark, name):
+    program = benchmark(parse, EXPRESSIONS[name])
+    assert program.statements
+
+
+def test_bench_lower_and_cse(benchmark):
+    program = parse(Q_CRITERION)
+
+    def lower_and_optimize():
+        spec, _ = lower(program)
+        return eliminate_common_subexpressions(spec)
+
+    spec = benchmark(lower_and_optimize)
+    assert len(spec) > 60
+
+
+def test_bench_compile_cached_vs_cold(benchmark):
+    """The engine's compile cache: the hot path must be dict-lookup fast."""
+    from repro.host.engine import DerivedFieldEngine
+    engine = DerivedFieldEngine()
+    engine.compile(Q_CRITERION)  # warm
+    compiled = benchmark(engine.compile, Q_CRITERION)
+    assert compiled.result_name == "q_crit"

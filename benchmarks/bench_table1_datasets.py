@@ -1,0 +1,22 @@
+"""Regenerates Table I: the twelve RT sub-grids used for single-device
+evaluation, and times synthetic-field generation for the smallest one."""
+
+from conftest import write_artifact
+
+from repro.experiments import format_table1
+from repro.workloads import SubGrid, TABLE1_SUBGRIDS, make_fields
+
+
+def test_table1_catalogue(results_dir, benchmark):
+    table = benchmark.pedantic(format_table1, rounds=3, iterations=1)
+    write_artifact(results_dir, "table1.txt", table)
+    assert "9,437,184" in table
+    assert "113,246,208" in table
+    assert len(TABLE1_SUBGRIDS) == 12
+
+
+def test_bench_field_synthesis(benchmark):
+    """Wall-clock cost of synthesizing the RT-like workload (scaled)."""
+    grid = SubGrid(24, 24, 32)
+    fields = benchmark(make_fields, grid, seed=0)
+    assert fields["u"].shape == (grid.n_cells,)

@@ -1,0 +1,49 @@
+"""Regenerates Table II (Dev-W / Dev-R / K-Exe per expression x strategy)
+and wall-clock benchmarks each strategy's end-to-end execution."""
+
+import pytest
+from conftest import write_artifact
+
+from repro.analysis.vortex import EXPRESSION_INPUTS, EXPRESSIONS
+from repro.experiments import format_table2
+from repro.host.engine import DerivedFieldEngine
+
+TABLE_II = {
+    ("velocity_magnitude", "roundtrip"): (11, 6, 6),
+    ("velocity_magnitude", "staged"): (3, 1, 6),
+    ("velocity_magnitude", "fusion"): (3, 1, 1),
+    ("vorticity_magnitude", "roundtrip"): (32, 12, 12),
+    ("vorticity_magnitude", "staged"): (7, 1, 18),
+    ("vorticity_magnitude", "fusion"): (7, 1, 1),
+    ("q_criterion", "roundtrip"): (123, 57, 57),
+    ("q_criterion", "staged"): (7, 1, 67),
+    ("q_criterion", "fusion"): (7, 1, 1),
+}
+
+
+def test_table2_artifact(paper_sweep, results_dir, benchmark):
+    table = benchmark.pedantic(format_table2, args=(paper_sweep,),
+                               rounds=3, iterations=1)
+    write_artifact(results_dir, "table2.txt", table)
+    for (_, _), (w, r, k) in TABLE_II.items():
+        assert f"{w:>6} {r:>6} {k:>6}" in table
+
+
+@pytest.mark.parametrize("strategy", ["roundtrip", "staged", "fusion"])
+@pytest.mark.parametrize("expression", sorted(EXPRESSIONS))
+def test_bench_strategy_execution(benchmark, expression, strategy,
+                                  bench_fields):
+    """Wall-clock per-execution cost of each Table II cell (scaled grid).
+
+    The counts are asserted against the paper on every benchmark
+    iteration's report.
+    """
+    engine = DerivedFieldEngine(device="cpu", strategy=strategy)
+    compiled = engine.compile(EXPRESSIONS[expression])
+    inputs = {k: bench_fields[k]
+              for k in EXPRESSION_INPUTS[expression]}
+
+    report = benchmark(engine.execute, compiled, inputs)
+    assert report.counts.as_row() == TABLE_II[(expression, strategy)]
+    benchmark.extra_info["dev_writes"] = report.counts.dev_writes
+    benchmark.extra_info["kernel_execs"] = report.counts.kernel_execs

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""In-situ embedding in a VisIt-like host pipeline (Section III-D).
+
+Builds the paper's host configuration: a reader supplying one block of a
+decomposed time step, a custom "Python Expression" filter that calls the
+derived-field framework, and a pseudocolor render sink.  Shows the
+contract system requesting ghost data for the gradient, pipeline caching
+across re-renders, and re-execution when the time step changes.
+
+Run:  python examples/insitu_pipeline.py
+"""
+
+import numpy as np
+
+from repro.analysis.vortex import Q_CRITERION
+from repro.host import DerivedFieldEngine
+from repro.host.visitsim import (BlockExtent, GlobalArrayReader, Pipeline,
+                                 PythonExpressionFilter,
+                                 RectilinearDataset)
+from repro.workloads import SubGrid, make_fields
+
+
+def load_timestep(timestep: int) -> RectilinearDataset:
+    """Stand-in for VisIt's file reader: a synthetic RT time step whose
+    perturbation evolves with the step index."""
+    grid = SubGrid(16, 16, 24)
+    fields = make_fields(grid, seed=100 + timestep)
+    return RectilinearDataset(
+        x=fields["x"], y=fields["y"], z=fields["z"],
+        cell_fields={"u": fields["u"], "v": fields["v"],
+                     "w": fields["w"]})
+
+
+from repro.host.visitsim import StatisticsFilter, ThresholdFilter  # noqa: E402
+
+# The engine runs fusion on the simulated GPU — the configuration the
+# paper's 256-GPU run used.
+engine = DerivedFieldEngine(device="gpu", strategy="fusion")
+expr_filter = PythonExpressionFilter(Q_CRITERION, engine=engine)
+
+contract = expr_filter.contract()
+print("contract negotiated bottom-up before execution:")
+print(f"  fields requested: {sorted(contract.fields)}")
+print(f"  ghost zones:      {contract.ghost_zones} "
+      f"(width {contract.ghost_width}) — the gradient stencil needs "
+      "neighbour cells at block seams\n")
+
+# This MPI task owns one sub-grid of the decomposed mesh; the reader
+# generates its ghost layers from the global data, as VisIt would.
+# Downstream of the expression: threshold to vortex cores (Q > 0) and a
+# statistics query — the "larger analysis pipeline" of Section III-D.
+extent = BlockExtent((4, 4, 0), (8, 8, 24))
+stats = StatisticsFilter("q_crit")
+pipeline = Pipeline(GlobalArrayReader(load_timestep, extent=extent),
+                    [expr_filter,
+                     ThresholdFilter("q_crit", lower=0.0),
+                     stats])
+
+dataset = pipeline.execute(timestep=0)
+print(f"block with ghosts: {dataset.dims} cells "
+      f"(ghost_lo={dataset.ghost_lo}, ghost_hi={dataset.ghost_hi})")
+interior = dataset.strip_ghost()
+print(f"interior block:    {interior.dims} cells")
+summary = stats.history[0]["q_crit"]
+print(f"vortex cores (Q > 0 after threshold): "
+      f"max Q = {summary.maximum:.2f}, "
+      f"{summary.positive_fraction:.0%} of surviving cells\n")
+
+# Re-rendering reuses the executed pipeline (the paper: "each subsequent
+# rendering step reuses the resulting mesh").
+for axis in (0, 1, 2):
+    image = pipeline.render(timestep=0, field="q_crit", axis=axis)
+    print(f"rendered axis-{axis} slice: image {image.shape}")
+print(f"pipeline executions so far: {pipeline.executions} "
+      "(renders reused the cached result)")
+
+# A new time step invalidates the cache and re-executes.
+pipeline.render(timestep=1, field="q_crit")
+print(f"after loading time step 1:  {pipeline.executions} executions")

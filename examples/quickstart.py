@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: derive a field from an expression, in five lines.
+
+The framework takes a user expression (VisIt-style, Fig 3 of the paper)
+plus NumPy arrays for the input fields, compiles the expression into a
+dataflow network of OpenCL building blocks, runs it under an execution
+strategy on a simulated many-core device, and hands back the derived
+field.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+# --- the five-line version -------------------------------------------------
+
+u = np.random.default_rng(0).standard_normal(1_000)
+v = np.random.default_rng(1).standard_normal(1_000)
+w = np.random.default_rng(2).standard_normal(1_000)
+
+out = repro.derive("v_mag = sqrt(u*u + v*v + w*w)",
+                   {"u": u, "v": v, "w": w})
+print(f"derived {out['v_mag'].shape[0]} velocity magnitudes; "
+      f"max = {out['v_mag'].max():.3f}")
+
+# --- the instrumented version -----------------------------------------------
+
+from repro.host import DerivedFieldEngine  # noqa: E402
+
+# Pick a device ('cpu' = Intel X5660 model, 'gpu' = NVIDIA M2050 model)
+# and an execution strategy ('roundtrip' | 'staged' | 'fusion').
+engine = DerivedFieldEngine(device="gpu", strategy="fusion")
+
+# Compiling once caches the parsed/lowered/optimized network; an in-situ
+# host re-executes it every time step with fresh arrays.
+compiled = engine.compile("v_mag = sqrt(u*u + v*v + w*w)")
+print(f"\nexpression inputs: {compiled.required_inputs}")
+print("network definition script:")
+print(compiled.definition_script())
+
+report = engine.execute(compiled, {"u": u, "v": v, "w": w})
+print(f"strategy:        {report.strategy}")
+print(f"event counts:    Dev-W={report.counts.dev_writes} "
+      f"Dev-R={report.counts.dev_reads} "
+      f"K-Exe={report.counts.kernel_execs}   (Table II's fusion row: 3 1 1)")
+print(f"modeled time:    {report.timing.total * 1e6:.1f} us on the M2050")
+print(f"device memory:   {report.mem_high_water} bytes high-water")
+
+print("\ngenerated OpenCL kernel:")
+print(next(iter(report.generated_sources.values())))

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""End-to-end: simulation dump -> disk -> in-situ pipeline -> images.
+
+Plays a full campaign at laptop scale: a mock simulation writes a short
+Rayleigh-Taylor-like time series in the block-file format, then the
+VisIt-like host reads each step back (memory-mapped, no copies), derives
+the Q-criterion with the fused kernel, and writes a pseudocolor PPM per
+step — a flip-book of the vortex structure evolving.
+
+Run:  python examples/simulation_to_visualization.py [output_dir]
+"""
+
+import pathlib
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.analysis.vortex import Q_CRITERION
+from repro.host import DerivedFieldEngine
+from repro.host.visitsim import (GlobalArrayReader, Pipeline,
+                                 PythonExpressionFilter,
+                                 RectilinearDataset, save_ppm)
+from repro.io import TimeSeriesReader, TimeSeriesWriter
+from repro.workloads import SubGrid, make_fields
+
+out_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                       else tempfile.mkdtemp(prefix="repro_run_"))
+series_dir = out_dir / "series"
+n_steps = 4
+grid = SubGrid(24, 24, 24)
+
+# --- "simulation": dump a time series to disk -------------------------------
+
+writer = TimeSeriesWriter(series_dir, metadata={"campaign": "rt-demo",
+                                                "dims": list(grid.dims)})
+for step in range(n_steps):
+    # evolve the perturbation by reseeding mode phases per step
+    fields = make_fields(grid, seed=1000 + step)
+    dataset = RectilinearDataset(
+        x=fields["x"], y=fields["y"], z=fields["z"],
+        cell_fields={"u": fields["u"], "v": fields["v"],
+                     "w": fields["w"]})
+    path = writer.append(dataset, time=0.05 * step)
+    print(f"wrote step {step}: {path.name} "
+          f"({path.stat().st_size / 1e6:.2f} MB)")
+
+# --- "visualization session": read back and derive --------------------------
+
+reader = TimeSeriesReader(series_dir)
+print(f"\nseries: {len(reader)} steps, campaign "
+      f"{reader.metadata['campaign']!r}, times {reader.times()}")
+
+engine = DerivedFieldEngine(device="gpu", strategy="fusion")
+pipeline = Pipeline(
+    GlobalArrayReader(reader.dataset_loader(mmap=True)),
+    [PythonExpressionFilter(Q_CRITERION, engine=engine)])
+
+for step in range(n_steps):
+    image = pipeline.render(step, field="q_crit", axis=2)
+    target = out_dir / f"q_crit_step{step}.ppm"
+    save_ppm(image, target)
+    dataset = pipeline.execute(step)
+    q = dataset.field("q_crit")
+    print(f"step {step}: Q in [{q.min():8.2f}, {q.max():8.2f}], "
+          f"{(q > 0).mean():5.1%} rotation-dominated -> {target.name}")
+
+print(f"\npipeline executed {pipeline.executions} times "
+      f"({n_steps} steps; renders reused cached results)")
+print(f"artifacts in {out_dir}")

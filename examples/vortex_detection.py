@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Vortex detection on a synthetic Rayleigh-Taylor time step (the paper's
+application study, Section IV-A).
+
+Computes all three derived quantities — velocity magnitude, vorticity
+magnitude, and Q-criterion — on one Table I-shaped sub-grid (scaled to
+laptop size), compares every execution strategy's output against the
+direct NumPy reference, and prints the Table II event counts measured
+live.
+
+Run:  python examples/vortex_detection.py
+"""
+
+import numpy as np
+
+from repro.analysis import vortex
+from repro.host import DerivedFieldEngine
+from repro.workloads import SubGrid, make_fields
+
+# A 12x12x64 slice of the RT problem (Table I shape, scaled 16x per axis).
+grid = SubGrid(12, 12, 64)
+fields = make_fields(grid, seed=42)
+print(f"synthetic RT sub-grid: {grid.label()} = {grid.n_cells:,} cells\n")
+
+references = {
+    "velocity_magnitude": vortex.velocity_magnitude_reference(
+        fields["u"], fields["v"], fields["w"]),
+    "vorticity_magnitude": vortex.vorticity_magnitude_reference(
+        *[fields[k] for k in ("u", "v", "w", "dims", "x", "y", "z")]),
+    "q_criterion": vortex.q_criterion_reference(
+        *[fields[k] for k in ("u", "v", "w", "dims", "x", "y", "z")]),
+}
+
+header = (f"{'expression':<22} {'strategy':<10} {'Dev-W':>6} {'Dev-R':>6} "
+          f"{'K-Exe':>6} {'max |err|':>10}")
+print(header)
+print("-" * len(header))
+
+for name, expression in vortex.EXPRESSIONS.items():
+    inputs = {k: fields[k] for k in vortex.EXPRESSION_INPUTS[name]}
+    for strategy in ("roundtrip", "staged", "fusion"):
+        engine = DerivedFieldEngine(device="cpu", strategy=strategy)
+        report = engine.execute(expression, inputs)
+        err = np.abs(report.output - references[name]).max()
+        print(f"{name:<22} {strategy:<10} "
+              f"{report.counts.dev_writes:>6} "
+              f"{report.counts.dev_reads:>6} "
+              f"{report.counts.kernel_execs:>6} {err:>10.2e}")
+    print()
+
+# Where are the vortices?  Hunt's criterion: Q > 0 means rotation beats
+# strain; combined with the mixing-layer envelope this highlights the RT
+# roll-ups.
+q = references["q_criterion"]
+vortical = (q > 0).mean()
+print(f"fraction of cells with Q > 0 (rotation-dominated): "
+      f"{vortical:.1%}")
+print(f"strongest vortex core: Q = {q.max():.2f}; "
+      f"strongest strain region: Q = {q.min():.2f}")

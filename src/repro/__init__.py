@@ -1,0 +1,49 @@
+"""repro — reproduction of "Efficient Dynamic Derived Field Generation on
+Many-Core Architectures Using Python" (Harrison et al., SC 2012).
+
+The top-level package re-exports the small public API most users need:
+
+>>> import numpy as np, repro
+>>> u = np.random.rand(16, 16, 16).astype(np.float32)
+>>> out = repro.derive("v = u * u", fields={"u": u})["v"]
+
+See :mod:`repro.host.interface` for the in-situ entry point,
+:mod:`repro.strategies` for the roundtrip/staged/fusion execution
+strategies, and :mod:`repro.clsim` for the simulated OpenCL runtime.
+"""
+
+from .errors import (
+    CLBuildError,
+    CLError,
+    CLOutOfMemoryError,
+    ExpressionError,
+    LexError,
+    LoweringError,
+    NetworkError,
+    ParseError,
+    PrimitiveError,
+    ReproError,
+    StrategyError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError", "ExpressionError", "LexError", "ParseError",
+    "LoweringError", "NetworkError", "PrimitiveError", "CLError",
+    "CLOutOfMemoryError", "CLBuildError", "StrategyError",
+    "derive", "DerivedFieldEngine",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` cheap and avoid import cycles while
+    # the subpackages load each other.
+    if name == "derive":
+        from .host.interface import derive
+        return derive
+    if name == "DerivedFieldEngine":
+        from .host.engine import DerivedFieldEngine
+        return DerivedFieldEngine
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,16 @@
+"""Application expressions and direct reference implementations for the
+paper's vortex-detection evaluation (Section IV-A)."""
+
+from .vortex import (EXPRESSION_INPUTS, EXPRESSIONS, Q_CRITERION,
+                     VELOCITY_MAGNITUDE, VORTICITY_MAGNITUDE,
+                     q_criterion_reference, velocity_gradients,
+                     velocity_magnitude_reference, vorticity_magnitude_reference,
+                     vorticity_reference)
+
+__all__ = [
+    "EXPRESSIONS", "EXPRESSION_INPUTS", "VELOCITY_MAGNITUDE",
+    "VORTICITY_MAGNITUDE", "Q_CRITERION",
+    "velocity_magnitude_reference", "velocity_gradients",
+    "vorticity_reference", "vorticity_magnitude_reference",
+    "q_criterion_reference",
+]

@@ -1,0 +1,14 @@
+"""OpenCL C subset front-end and interpreter.
+
+Built on the project's own :mod:`repro.lexyacc` toolkit, this package
+parses and *executes* the OpenCL C the kernel generators emit, enabling
+differential testing of the generated source against the NumPy executors
+that back the simulated device (``tests/clc/``).
+"""
+
+from .cparser import clc_diagnostics, parse_clc
+from .interp import CLCError, GlobalBuffer, Interpreter
+from .runner import execute_kernel
+
+__all__ = ["parse_clc", "clc_diagnostics", "CLCError", "GlobalBuffer",
+           "Interpreter", "execute_kernel"]

@@ -1,0 +1,188 @@
+"""AST for the OpenCL C subset the framework generates.
+
+The subset covers everything the kernel generators emit: function
+definitions (``inline`` helpers and ``__kernel`` entry points), local
+declarations with initializers, assignments (including vector-component
+and pointer-target forms), ``if``/``else``, ``return``, the conditional
+operator, casts, vector constructors, array indexing, member access
+(``.s0``..``.s3``), address-of, and calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+__all__ = [
+    "IntLit", "FloatLit", "Var", "Unary", "Binary", "Ternary", "Cast",
+    "VectorConstruct", "Call", "Index", "Member", "AddressOf", "Deref",
+    "Expr", "Declaration", "Declarator", "Assign", "ExprStatement",
+    "If", "Return", "Block", "Statement", "Param", "Function",
+    "TranslationUnit", "TypeSpec",
+]
+
+
+@dataclass(frozen=True)
+class TypeSpec:
+    """A (possibly pointer, possibly vector) type."""
+
+    base: str               # "double", "float4", "int", "void", ...
+    pointer: bool = False
+    is_global: bool = False
+    const: bool = False
+
+    @property
+    def vector_width(self) -> int:
+        return int(self.base[-1]) if self.base[-1].isdigit() else 1
+
+    @property
+    def scalar_base(self) -> str:
+        return self.base.rstrip("0123456789")
+
+
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatLit:
+    value: float
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str                 # '-', '!', '+'
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Ternary:
+    cond: "Expr"
+    then: "Expr"
+    otherwise: "Expr"
+
+
+@dataclass(frozen=True)
+class Cast:
+    type: TypeSpec
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class VectorConstruct:
+    type: TypeSpec
+    components: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Index:
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Member:
+    base: "Expr"
+    name: str               # s0..s3 (or x/y/z/w aliases)
+
+
+@dataclass(frozen=True)
+class AddressOf:
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Deref:
+    operand: "Expr"
+
+
+Expr = Union[IntLit, FloatLit, Var, Unary, Binary, Ternary, Cast,
+             VectorConstruct, Call, Index, Member, AddressOf, Deref]
+
+
+@dataclass(frozen=True)
+class Declarator:
+    name: str
+    init: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Declaration:
+    type: TypeSpec
+    declarators: tuple[Declarator, ...]
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: Expr            # Var, Index, Member, or Deref
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStatement:
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Block:
+    statements: tuple["Statement", ...]
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Expr
+    then: "Statement"
+    otherwise: Optional["Statement"]
+
+
+Statement = Union[Declaration, Assign, ExprStatement, Return, Block, If]
+
+
+@dataclass(frozen=True)
+class Param:
+    type: TypeSpec
+    name: str
+
+
+@dataclass(frozen=True)
+class Function:
+    name: str
+    return_type: TypeSpec
+    params: tuple[Param, ...]
+    body: Block
+    is_kernel: bool
+
+
+@dataclass(frozen=True)
+class TranslationUnit:
+    functions: tuple[Function, ...]
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

@@ -1,0 +1,219 @@
+"""Parser for the OpenCL C subset, generated with :mod:`repro.lexyacc`.
+
+The grammar is a pruned C99: function definitions, declarations,
+assignments, ``if``/``else``, ``return``, and a full expression ladder
+(ternary, logical, equality, relational, additive, multiplicative, unary
+with casts/address-of/dereference, postfix calls/indexing/member access).
+Two classic C ambiguities appear and are resolved the yacc way:
+
+* the dangling ``else`` binds to the nearest ``if`` (precedence);
+* ``(type)(expr)`` after a cast prefers the parenthesized-expression
+  shift, so ``(double4)(a, b, c, 0)`` parses as a vector constructor and
+  ``(double)(x)`` as a cast.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..errors import ParseError
+from ..lexyacc import Grammar, LRParser, Precedence, Production
+from . import ast
+from .lexer import clc_lexer
+
+__all__ = ["parse_clc", "clc_diagnostics"]
+
+
+def _type_spec(base, *, pointer=False, is_global=False, const=False):
+    return ast.TypeSpec(base=base, pointer=pointer, is_global=is_global,
+                        const=const)
+
+
+def _build_grammar() -> Grammar:
+    P = Production
+
+    def pass1(x):
+        return x
+
+    productions = [
+        # --- translation unit -------------------------------------------------
+        P("unit", ("fn_list",), lambda fns: ast.TranslationUnit(tuple(fns))),
+        P("fn_list", ("function",), lambda f: [f]),
+        P("fn_list", ("fn_list", "function"),
+          lambda fns, f: fns + [f]),
+
+        # --- functions --------------------------------------------------------
+        P("function", ("INLINE", "TYPE", "IDENT", "LPAREN", "params",
+                       "RPAREN", "block"),
+          lambda _i, rtype, name, _l, params, _r, body: ast.Function(
+              name, _type_spec(rtype), tuple(params), body, False)),
+        P("function", ("KERNEL", "TYPE", "IDENT", "LPAREN", "params",
+                       "RPAREN", "block"),
+          lambda _k, rtype, name, _l, params, _r, body: ast.Function(
+              name, _type_spec(rtype), tuple(params), body, True)),
+
+        P("params", (), lambda: []),
+        P("params", ("param_list",), pass1),
+        P("param_list", ("param",), lambda p: [p]),
+        P("param_list", ("param_list", "COMMA", "param"),
+          lambda ps, _c, p: ps + [p]),
+        P("param", ("quals", "TYPE", "stars", "IDENT"),
+          lambda quals, base, stars, name: ast.Param(
+              _type_spec(base, pointer=stars > 0,
+                         is_global="global" in quals,
+                         const="const" in quals), name)),
+        P("quals", (), lambda: frozenset()),
+        P("quals", ("GLOBAL", "quals"),
+          lambda _g, rest: rest | {"global"}),
+        P("quals", ("CONST", "quals"),
+          lambda _c, rest: rest | {"const"}),
+        P("stars", (), lambda: 0),
+        P("stars", ("STAR",), lambda _s: 1),
+
+        # --- statements -------------------------------------------------------
+        P("block", ("LBRACE", "stmts", "RBRACE"),
+          lambda _l, stmts, _r: ast.Block(tuple(stmts))),
+        P("stmts", (), lambda: []),
+        P("stmts", ("stmts", "stmt"), lambda ss, s: ss + [s]),
+
+        P("stmt", ("declaration",), pass1),
+        P("stmt", ("expr", "SEMI"), lambda e, _s: (
+            e if isinstance(e, ast.Assign) else ast.ExprStatement(e))),
+        P("stmt", ("RETURN", "expr", "SEMI"),
+          lambda _r, e, _s: ast.Return(e)),
+        P("stmt", ("RETURN", "SEMI"), lambda _r, _s: ast.Return(None)),
+        P("stmt", ("block",), pass1),
+        P("stmt", ("IF", "LPAREN", "expr", "RPAREN", "stmt"),
+          lambda _i, _l, cond, _r, then: ast.If(cond, then, None),
+          prec="THEN"),
+        P("stmt", ("IF", "LPAREN", "expr", "RPAREN", "stmt", "ELSE",
+                   "stmt"),
+          lambda _i, _l, cond, _r, then, _e, other:
+          ast.If(cond, then, other)),
+
+        P("declaration", ("decl_quals", "TYPE", "init_list", "SEMI"),
+          lambda quals, base, decls, _s: ast.Declaration(
+              _type_spec(base, const="const" in quals), tuple(decls))),
+        P("decl_quals", (), lambda: frozenset()),
+        P("decl_quals", ("CONST", "decl_quals"),
+          lambda _c, rest: rest | {"const"}),
+        P("init_list", ("init_decl",), lambda d: [d]),
+        P("init_list", ("init_list", "COMMA", "init_decl"),
+          lambda ds, _c, d: ds + [d]),
+        P("init_decl", ("IDENT",), lambda n: ast.Declarator(n, None)),
+        P("init_decl", ("IDENT", "ASSIGN", "cond"),
+          lambda n, _a, e: ast.Declarator(n, e)),
+
+        # --- expressions (C ladder) --------------------------------------------
+        P("expr", ("cond",), pass1),
+        P("expr", ("unary", "ASSIGN", "expr"),
+          lambda target, _a, value: ast.Assign(target, value)),
+
+        P("cond", ("or_expr",), pass1),
+        P("cond", ("or_expr", "QUESTION", "expr", "COLON", "cond"),
+          lambda c, _q, a, _c, b: ast.Ternary(c, a, b)),
+
+        P("or_expr", ("and_expr",), pass1),
+        P("or_expr", ("or_expr", "OROR", "and_expr"),
+          lambda a, _o, b: ast.Binary("||", a, b)),
+        P("and_expr", ("eq_expr",), pass1),
+        P("and_expr", ("and_expr", "ANDAND", "eq_expr"),
+          lambda a, _o, b: ast.Binary("&&", a, b)),
+
+        P("eq_expr", ("rel_expr",), pass1),
+        P("eq_expr", ("eq_expr", "EQEQ", "rel_expr"),
+          lambda a, _o, b: ast.Binary("==", a, b)),
+        P("eq_expr", ("eq_expr", "NEQ", "rel_expr"),
+          lambda a, _o, b: ast.Binary("!=", a, b)),
+
+        P("rel_expr", ("add_expr",), pass1),
+        P("rel_expr", ("rel_expr", "LT", "add_expr"),
+          lambda a, _o, b: ast.Binary("<", a, b)),
+        P("rel_expr", ("rel_expr", "GT", "add_expr"),
+          lambda a, _o, b: ast.Binary(">", a, b)),
+        P("rel_expr", ("rel_expr", "LE", "add_expr"),
+          lambda a, _o, b: ast.Binary("<=", a, b)),
+        P("rel_expr", ("rel_expr", "GE", "add_expr"),
+          lambda a, _o, b: ast.Binary(">=", a, b)),
+
+        P("add_expr", ("mul_expr",), pass1),
+        P("add_expr", ("add_expr", "PLUS", "mul_expr"),
+          lambda a, _o, b: ast.Binary("+", a, b)),
+        P("add_expr", ("add_expr", "MINUS", "mul_expr"),
+          lambda a, _o, b: ast.Binary("-", a, b)),
+
+        P("mul_expr", ("unary",), pass1),
+        P("mul_expr", ("mul_expr", "STAR", "unary"),
+          lambda a, _o, b: ast.Binary("*", a, b)),
+        P("mul_expr", ("mul_expr", "SLASH", "unary"),
+          lambda a, _o, b: ast.Binary("/", a, b)),
+        P("mul_expr", ("mul_expr", "PERCENT", "unary"),
+          lambda a, _o, b: ast.Binary("%", a, b)),
+
+        P("unary", ("postfix",), pass1),
+        P("unary", ("MINUS", "unary"),
+          lambda _o, e: ast.Unary("-", e)),
+        P("unary", ("PLUS", "unary"), lambda _o, e: e),
+        P("unary", ("BANG", "unary"),
+          lambda _o, e: ast.Unary("!", e)),
+        P("unary", ("AMP", "unary"),
+          lambda _o, e: ast.AddressOf(e)),
+        P("unary", ("STAR", "unary"),
+          lambda _o, e: ast.Deref(e)),
+        # casts; "(T)(a, b, ...)" is the vector-constructor form
+        P("unary", ("LPAREN", "TYPE", "RPAREN", "unary"),
+          lambda _l, base, _r, e: ast.Cast(_type_spec(base), e)),
+        P("unary", ("LPAREN", "TYPE", "RPAREN", "LPAREN", "args",
+                    "RPAREN"),
+          lambda _l, base, _r, _l2, args, _r2: (
+              ast.Cast(_type_spec(base), args[0]) if len(args) == 1
+              else ast.VectorConstruct(_type_spec(base), tuple(args)))),
+
+        P("postfix", ("primary",), pass1),
+        P("postfix", ("postfix", "LBRACKET", "expr", "RBRACKET"),
+          lambda base, _l, index, _r: ast.Index(base, index)),
+        P("postfix", ("postfix", "DOT", "IDENT"),
+          lambda base, _d, name: ast.Member(base, name)),
+        P("postfix", ("IDENT", "LPAREN", "args", "RPAREN"),
+          lambda name, _l, args, _r: ast.Call(name, tuple(args))),
+        P("postfix", ("IDENT", "LPAREN", "RPAREN"),
+          lambda name, _l, _r: ast.Call(name, ())),
+
+        P("args", ("expr",), lambda e: [e]),
+        P("args", ("args", "COMMA", "expr"),
+          lambda args, _c, e: args + [e]),
+
+        P("primary", ("IDENT",), lambda n: ast.Var(n)),
+        P("primary", ("INT_LIT",), lambda v: ast.IntLit(int(v))),
+        P("primary", ("FLOAT_LIT",), lambda v: ast.FloatLit(float(v))),
+        P("primary", ("LPAREN", "expr", "RPAREN"),
+          lambda _l, e, _r: e),
+    ]
+    precedence = [
+        Precedence("nonassoc", ("THEN",)),
+        Precedence("nonassoc", ("ELSE",)),
+    ]
+    return Grammar(productions, "unit", precedence)
+
+
+@lru_cache(maxsize=1)
+def _machinery():
+    return clc_lexer(), LRParser(_build_grammar())
+
+
+def parse_clc(source: str) -> ast.TranslationUnit:
+    """Parse an OpenCL C translation unit into its AST."""
+    lexer, parser = _machinery()
+    unit = parser.parse(lexer.tokens(source))
+    if not isinstance(unit, ast.TranslationUnit):  # pragma: no cover
+        raise ParseError("no functions in translation unit")
+    return unit
+
+
+def clc_diagnostics() -> dict:
+    _, parser = _machinery()
+    return {
+        "states": parser.table.n_states,
+        "conflicts": parser.table.conflicts,
+        "resolutions": len(parser.table.resolutions),
+    }

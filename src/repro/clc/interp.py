@@ -1,0 +1,361 @@
+"""Tree-walking interpreter for the OpenCL C subset.
+
+Executes parsed translation units the way an OpenCL device would, one
+work-item at a time: global buffers are NumPy arrays, by-value arguments
+are scalars, vector values are 4-lane NumPy arrays, and ``get_global_id``
+returns the current work-item index.
+
+This is deliberately slow and simple — its job is *differential testing*:
+the generated kernels must compute exactly what the vectorized NumPy
+executors compute (see ``tests/clc/``), proving the emitted OpenCL C is
+real code and not documentation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from . import ast
+
+__all__ = ["CLCError", "Interpreter", "GlobalBuffer"]
+
+
+class CLCError(ReproError):
+    """Semantic error while interpreting OpenCL C."""
+
+
+_SCALAR_DTYPES = {
+    "double": np.float64, "float": np.float32,
+    "int": np.int32, "long": np.int64, "size_t": np.int64,
+}
+
+
+@dataclass
+class GlobalBuffer:
+    """A __global pointer argument: array plus an element offset."""
+
+    array: np.ndarray
+    offset: int = 0
+
+    def shifted(self, delta: int) -> "GlobalBuffer":
+        return GlobalBuffer(self.array, self.offset + int(delta))
+
+    def load(self, index: int):
+        return self.array[self.offset + int(index)]
+
+    def store(self, index: int, value) -> None:
+        self.array[self.offset + int(index)] = value
+
+
+@dataclass
+class _Ref:
+    """Address of a local variable (&x)."""
+
+    env: dict
+    name: str
+
+    def load(self):
+        return self.env[self.name]
+
+    def store(self, value) -> None:
+        self.env[self.name] = value
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+def _as_bool(value) -> bool:
+    if isinstance(value, np.ndarray):
+        raise CLCError("vector value used as a condition")
+    return bool(value)
+
+
+def _vector_dtype(base: str):
+    return _SCALAR_DTYPES[ast.TypeSpec(base).scalar_base]
+
+
+class Interpreter:
+    """Executes one translation unit."""
+
+    _BUILTINS = {
+        "sqrt": math.sqrt, "fabs": abs, "exp": math.exp,
+        "log": math.log, "pow": math.pow,
+        "fmin": min, "fmax": max,
+        "sin": math.sin, "cos": math.cos,
+    }
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self._functions = {fn.name: fn for fn in unit.functions}
+        self._gid = 0
+
+    # -- public ------------------------------------------------------------------
+
+    def run_kernel(self, name: str, args, global_size: int) -> None:
+        """Execute a ``__kernel`` over ``global_size`` work items.
+
+        ``args`` match the kernel parameters positionally: NumPy arrays
+        for ``__global`` pointers (mutated in place for outputs), plain
+        scalars for by-value parameters.
+        """
+        kernel = self._functions.get(name)
+        if kernel is None or not kernel.is_kernel:
+            raise CLCError(f"no kernel named {name!r}")
+        if len(args) != len(kernel.params):
+            raise CLCError(
+                f"kernel {name} takes {len(kernel.params)} arguments, "
+                f"got {len(args)}")
+        bound = []
+        for param, value in zip(kernel.params, args):
+            if param.type.pointer:
+                if not isinstance(value, np.ndarray):
+                    raise CLCError(
+                        f"parameter {param.name} needs an array")
+                bound.append(GlobalBuffer(value))
+            else:
+                bound.append(value)
+        for gid in range(global_size):
+            self._gid = gid
+            env = {p.name: v for p, v in zip(kernel.params, bound)}
+            try:
+                self._exec_block(kernel.body, env)
+            except _ReturnSignal:
+                pass
+
+    def call(self, name: str, args):
+        """Call a helper function directly (for unit tests)."""
+        return self._call_function(self._functions[name], list(args))
+
+    # -- execution ------------------------------------------------------------------
+
+    def _call_function(self, fn: ast.Function, args):
+        if len(args) != len(fn.params):
+            raise CLCError(
+                f"{fn.name} takes {len(fn.params)} arguments, "
+                f"got {len(args)}")
+        env = {p.name: a for p, a in zip(fn.params, args)}
+        try:
+            self._exec_block(fn.body, env)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+    def _exec_block(self, block: ast.Block, env: dict) -> None:
+        for statement in block.statements:
+            self._exec(statement, env)
+
+    def _exec(self, statement, env: dict) -> None:
+        if isinstance(statement, ast.Declaration):
+            for decl in statement.declarators:
+                if decl.init is not None:
+                    value = self._coerce(statement.type,
+                                         self._eval(decl.init, env))
+                elif statement.type.vector_width > 1:
+                    value = np.zeros(statement.type.vector_width,
+                                     dtype=_vector_dtype(statement.type.base))
+                else:
+                    value = _SCALAR_DTYPES.get(
+                        statement.type.base, np.float64)(0)
+                env[decl.name] = value
+        elif isinstance(statement, ast.Assign):
+            self._assign(statement.target,
+                         self._eval(statement.value, env), env)
+        elif isinstance(statement, ast.ExprStatement):
+            self._eval(statement.expr, env)
+        elif isinstance(statement, ast.Return):
+            raise _ReturnSignal(
+                None if statement.value is None
+                else self._eval(statement.value, env))
+        elif isinstance(statement, ast.Block):
+            self._exec_block(statement, env)
+        elif isinstance(statement, ast.If):
+            if _as_bool(self._eval(statement.cond, env)):
+                self._exec(statement.then, env)
+            elif statement.otherwise is not None:
+                self._exec(statement.otherwise, env)
+        else:  # pragma: no cover - grammar is closed
+            raise CLCError(f"cannot execute {type(statement).__name__}")
+
+    def _assign(self, target, value, env: dict) -> None:
+        if isinstance(target, ast.Var):
+            env[target.name] = value
+        elif isinstance(target, ast.Index):
+            base = self._eval(target.base, env)
+            index = self._eval(target.index, env)
+            if not isinstance(base, GlobalBuffer):
+                raise CLCError("indexed assignment needs a global pointer")
+            base.store(index, value)
+        elif isinstance(target, ast.Member):
+            vector = self._eval(target.base, env)
+            vector[_component(target.name)] = value
+        elif isinstance(target, ast.Deref):
+            ref = self._eval(target.operand, env)
+            if isinstance(ref, _Ref):
+                ref.store(value)
+            elif isinstance(ref, GlobalBuffer):
+                ref.store(0, value)
+            else:
+                raise CLCError("dereferencing a non-pointer")
+        else:
+            raise CLCError(
+                f"invalid assignment target {type(target).__name__}")
+
+    # -- expression evaluation ---------------------------------------------------------
+
+    def _eval(self, node, env: dict):
+        method = getattr(self, f"_eval_{type(node).__name__.lower()}")
+        return method(node, env)
+
+    def _eval_intlit(self, node, env):
+        return node.value
+
+    def _eval_floatlit(self, node, env):
+        return node.value
+
+    def _eval_var(self, node, env):
+        try:
+            return env[node.name]
+        except KeyError:
+            raise CLCError(f"undefined variable {node.name!r}") from None
+
+    def _eval_unary(self, node, env):
+        value = self._eval(node.operand, env)
+        if node.op == "-":
+            return -value
+        if node.op == "!":
+            return 0 if _as_bool(value) else 1
+        raise CLCError(f"unary {node.op}")  # pragma: no cover
+
+    def _eval_binary(self, node, env):
+        op = node.op
+        if op == "&&":
+            return 1 if (_as_bool(self._eval(node.left, env))
+                         and _as_bool(self._eval(node.right, env))) else 0
+        if op == "||":
+            return 1 if (_as_bool(self._eval(node.left, env))
+                         or _as_bool(self._eval(node.right, env))) else 0
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        if isinstance(left, GlobalBuffer):
+            if op == "+":
+                return left.shifted(right)
+            if op == "-":
+                return left.shifted(-right)
+            raise CLCError(f"pointer arithmetic {op}")
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, (int, np.integer)) and \
+                    isinstance(right, (int, np.integer)):
+                return int(left) // int(right) if right else 0
+            return left / right
+        if op == "%":
+            return int(left) % int(right)
+        if op == "<":
+            return 1 if left < right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        raise CLCError(f"binary {op}")  # pragma: no cover
+
+    def _eval_ternary(self, node, env):
+        if _as_bool(self._eval(node.cond, env)):
+            return self._eval(node.then, env)
+        return self._eval(node.otherwise, env)
+
+    def _coerce(self, type_spec: ast.TypeSpec, value):
+        if type_spec.pointer:
+            return value
+        if type_spec.vector_width > 1:
+            dtype = _vector_dtype(type_spec.base)
+            if isinstance(value, np.ndarray):
+                return value.astype(dtype, copy=True)
+            return np.full(type_spec.vector_width, value, dtype=dtype)
+        dtype = _SCALAR_DTYPES.get(type_spec.base)
+        return dtype(value) if dtype is not None else value
+
+    def _eval_cast(self, node, env):
+        return self._coerce(node.type, self._eval(node.operand, env))
+
+    def _eval_vectorconstruct(self, node, env):
+        dtype = _vector_dtype(node.type.base)
+        values = [self._eval(c, env) for c in node.components]
+        if len(values) != node.type.vector_width:
+            raise CLCError(
+                f"{node.type.base} constructor needs "
+                f"{node.type.vector_width} components, got {len(values)}")
+        return np.array(values, dtype=dtype)
+
+    def _eval_call(self, node, env):
+        args = [self._eval(a, env) for a in node.args]
+        if node.name == "get_global_id":
+            return self._gid
+        builtin = self._BUILTINS.get(node.name)
+        if builtin is not None:
+            return builtin(*[float(a) for a in args])
+        fn = self._functions.get(node.name)
+        if fn is None:
+            raise CLCError(f"undefined function {node.name!r}")
+        return self._call_function(fn, args)
+
+    def _eval_index(self, node, env):
+        base = self._eval(node.base, env)
+        index = self._eval(node.index, env)
+        if isinstance(base, GlobalBuffer):
+            return base.load(index)
+        if isinstance(base, np.ndarray):
+            return base[int(index)]
+        raise CLCError("indexing a non-pointer")
+
+    def _eval_member(self, node, env):
+        vector = self._eval(node.base, env)
+        if not isinstance(vector, np.ndarray):
+            raise CLCError(f".{node.name} on a non-vector value")
+        return vector[_component(node.name)]
+
+    def _eval_addressof(self, node, env):
+        if isinstance(node.operand, ast.Var):
+            return _Ref(env, node.operand.name)
+        raise CLCError("can only take the address of a variable")
+
+    def _eval_deref(self, node, env):
+        pointer = self._eval(node.operand, env)
+        if isinstance(pointer, _Ref):
+            return pointer.load()
+        if isinstance(pointer, GlobalBuffer):
+            return pointer.load(0)
+        raise CLCError("dereferencing a non-pointer")
+
+    def _eval_assign(self, node, env):
+        value = self._eval(node.value, env)
+        self._assign(node.target, value, env)
+        return value
+
+
+_COMPONENTS = {"s0": 0, "s1": 1, "s2": 2, "s3": 3,
+               "x": 0, "y": 1, "z": 2, "w": 3}
+
+
+def _component(name: str) -> int:
+    try:
+        return _COMPONENTS[name]
+    except KeyError:
+        raise CLCError(f"unknown vector component .{name}") from None

@@ -1,0 +1,58 @@
+"""Lexer for the OpenCL C subset, built on :mod:`repro.lexyacc`."""
+
+from __future__ import annotations
+
+from ..lexyacc import LexerSpec, TokenRule, build_lexer
+
+__all__ = ["clc_lexer", "TYPE_NAMES"]
+
+# The element/vector types the generators emit.
+TYPE_NAMES = ("void", "double4", "double2", "float4", "float2",
+              "double", "float", "int", "long", "size_t")
+
+_KEYWORDS = {
+    "if": "IF", "else": "ELSE", "return": "RETURN",
+    "const": "CONST", "inline": "INLINE",
+    "__kernel": "KERNEL", "__global": "GLOBAL",
+    **{name: "TYPE" for name in TYPE_NAMES},
+}
+
+
+def _drop(_text: str):
+    return None
+
+
+_RULES = [
+    TokenRule("BLOCK_COMMENT", r"/\*([^*]|\*[^/])*\*/", _drop),
+    TokenRule("LINE_COMMENT", r"//[^\n]*", _drop),
+    TokenRule("PRAGMA", r"#[^\n]*", _drop),
+    TokenRule("FLOAT_LIT",
+              r"(\d+\.\d*|\.\d+)([eE][+-]?\d+)?[fF]?|\d+[eE][+-]?\d+[fF]?",
+              lambda s: float(s.rstrip("fF"))),
+    TokenRule("INT_LIT", r"\d+[uUlL]*",
+              lambda s: int(s.rstrip("uUlL"))),
+    TokenRule("IDENT", r"[A-Za-z_]\w*", str),
+    # multi-character operators before their prefixes
+    TokenRule("LE", r"<="), TokenRule("GE", r">="),
+    TokenRule("EQEQ", r"=="), TokenRule("NEQ", r"!="),
+    TokenRule("ANDAND", r"&&"), TokenRule("OROR", r"\|\|"),
+    TokenRule("LT", r"<"), TokenRule("GT", r">"),
+    TokenRule("ASSIGN", r"="),
+    TokenRule("PLUS", r"\+"), TokenRule("MINUS", r"-"),
+    TokenRule("STAR", r"\*"), TokenRule("SLASH", r"/"),
+    TokenRule("PERCENT", r"%"),
+    TokenRule("AMP", r"&"), TokenRule("BANG", r"!"),
+    TokenRule("QUESTION", r"\?"), TokenRule("COLON", r":"),
+    TokenRule("LPAREN", r"\("), TokenRule("RPAREN", r"\)"),
+    TokenRule("LBRACE", r"\{"), TokenRule("RBRACE", r"\}"),
+    TokenRule("LBRACKET", r"\["), TokenRule("RBRACKET", r"\]"),
+    TokenRule("COMMA", r","), TokenRule("SEMI", r";"),
+    TokenRule("DOT", r"\."),
+]
+
+_SPEC = LexerSpec(_RULES, keywords=_KEYWORDS, identifier_rule="IDENT")
+
+
+def clc_lexer():
+    """Build the OpenCL C lexer (keywords promote IDENT to TYPE etc.)."""
+    return build_lexer(_SPEC)

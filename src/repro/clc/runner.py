@@ -1,0 +1,42 @@
+"""Convenience runner: parse generated source and execute one kernel."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .cparser import parse_clc
+from .interp import CLCError, Interpreter
+
+__all__ = ["execute_kernel"]
+
+
+def execute_kernel(source: str, kernel_name: str, args: Sequence,
+                   global_size: int,
+                   out_shapes: Optional[dict[int, tuple]] = None
+                   ) -> list[np.ndarray]:
+    """Parse ``source``, run ``kernel_name`` over ``global_size`` items.
+
+    ``args`` are NumPy arrays for ``__global`` pointers (vector-typed
+    arrays flattened internally: an ``(n, 4)`` array is addressed per
+    element ``double4``) and scalars for by-value parameters.  Returns the
+    argument list post-execution (outputs mutated in place).
+    """
+    unit = parse_clc(source)
+    interp = Interpreter(unit)
+    kernel = unit.function(kernel_name)
+    prepared = []
+    views = []
+    for param, value in zip(kernel.params, list(args)):
+        if isinstance(value, np.ndarray) and param.type.vector_width > 1:
+            if value.ndim != 2 or value.shape[1] != param.type.vector_width:
+                raise CLCError(
+                    f"parameter {param.name} expects shape "
+                    f"(n, {param.type.vector_width})")
+            prepared.append(value)   # rows are the vector elements
+        else:
+            prepared.append(value)
+        views.append(prepared[-1])
+    interp.run_kernel(kernel_name, prepared, global_size)
+    return views

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands mirror the ways the paper's framework is used:
+
+* ``derive`` — evaluate an expression over a synthetic workload (or show
+  its generated OpenCL) on a chosen device/strategy;
+* ``sweep`` — regenerate the paper's evaluation tables and figure series;
+* ``render`` — run the in-situ pipeline and write a pseudocolor PPM image
+  of a derived-field slice (the Fig 7 visualization);
+* ``plan`` — dry-run one configuration at full paper scale and report its
+  memory requirement and modeled runtime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis.vortex import EXPRESSION_INPUTS, EXPRESSIONS
+from .clsim import GIB
+from .errors import ReproError
+from .experiments import (format_fig_series, format_table1, format_table2,
+                          gpu_success_rate, run_case, run_sweep)
+from .host.engine import DerivedFieldEngine
+from .workloads import SubGrid, TABLE1_SUBGRIDS, make_fields, make_shapes
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--device", choices=("cpu", "gpu"), default="cpu")
+    parser.add_argument("--strategy",
+                        choices=("roundtrip", "staged", "fusion",
+                                 "streaming", "multi-device"),
+                        default="fusion")
+    parser.add_argument("--grid", default="16x16x32",
+                        help="cell dims NIxNJxNK of the synthetic "
+                             "workload (default 16x16x32)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _parse_grid(text: str) -> SubGrid:
+    try:
+        ni, nj, nk = (int(p) for p in text.lower().split("x"))
+        return SubGrid(ni, nj, nk)
+    except ValueError:
+        raise SystemExit(f"bad --grid {text!r}; expected e.g. 16x16x32")
+
+
+def _expression(args) -> str:
+    if args.expression in EXPRESSIONS:
+        return EXPRESSIONS[args.expression]
+    return args.expression
+
+
+def cmd_derive(args) -> int:
+    grid = _parse_grid(args.grid)
+    fields = make_fields(grid, seed=args.seed)
+    engine = DerivedFieldEngine(device=args.device, strategy=args.strategy)
+    compiled = engine.compile(_expression(args))
+    inputs = {k: fields[k] for k in compiled.required_inputs}
+    report = engine.execute(compiled, inputs)
+    if args.trace:
+        import json
+        # rebuild the event timeline by re-running instrumented
+        from .clsim import CLEnvironment
+        env = CLEnvironment(args.device)
+        engine.strategy.execute(compiled.network, inputs, env)
+        with open(args.trace, "w") as handle:
+            json.dump(env.queue.log.to_chrome_trace(), handle)
+        print(f"wrote device timeline to {args.trace} "
+              "(open in chrome://tracing or Perfetto)")
+    out = report.output
+    print(f"derived {compiled.result_name!r} over {grid.n_cells:,} cells "
+          f"on {args.device} / {report.strategy}")
+    print(f"  range:   [{out.min():.6g}, {out.max():.6g}]  "
+          f"mean {out.mean():.6g}")
+    print(f"  events:  Dev-W={report.counts.dev_writes} "
+          f"Dev-R={report.counts.dev_reads} "
+          f"K-Exe={report.counts.kernel_execs}")
+    print(f"  modeled: {report.timing.total:.6f} s   "
+          f"device memory {report.mem_high_water:,} B")
+    if args.show_kernels:
+        for name, source in report.generated_sources.items():
+            print(f"\n// ---- {name} ----\n{source}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    """Differentially validate an expression: the generated OpenCL,
+    executed from source by the interpreter, must match the vectorized
+    execution bit for bit."""
+    import numpy as np
+    grid = _parse_grid(args.grid)
+    fields = make_fields(grid, seed=args.seed)
+    text = _expression(args)
+    fast = DerivedFieldEngine(device=args.device, strategy=args.strategy)
+    slow = DerivedFieldEngine(device=args.device, strategy=args.strategy,
+                              backend="interpreted")
+    compiled = fast.compile(text)
+    inputs = {k: fields[k] for k in compiled.required_inputs}
+    report = fast.execute(compiled, inputs)
+    interpreted = slow.derive(text, inputs)
+    max_err = float(np.abs(report.output - interpreted).max())
+    n_kernels = len(report.generated_sources)
+    lines = sum(s.count("\n") for s in report.generated_sources.values())
+    exact = max_err == 0.0
+    print(f"expression:        {compiled.result_name!r} over "
+          f"{grid.n_cells:,} cells ({args.strategy}/{args.device})")
+    print(f"generated kernels: {n_kernels} ({lines} lines of OpenCL C)")
+    print(f"max |vectorized - interpreted|: {max_err:.3e} "
+          f"({'bit-exact' if exact else 'MISMATCH'})")
+    return 0 if exact else 1
+
+
+def cmd_sweep(args) -> int:
+    print(format_table1())
+    results = run_sweep()
+    print()
+    print(format_table2(results))
+    for expression in EXPRESSIONS:
+        print()
+        print(format_fig_series(results, metric=args.metric,
+                                expression=expression))
+    ok, total = gpu_success_rate(results)
+    print(f"\nGPU completed {ok} of {total} cases (paper: 106 of 144)")
+    return 0
+
+
+def cmd_render(args) -> int:
+    from .host.visitsim import (GlobalArrayReader, Pipeline,
+                                PythonExpressionFilter,
+                                RectilinearDataset, save_ppm)
+    grid = _parse_grid(args.grid)
+    fields = make_fields(grid, seed=args.seed)
+
+    def loader(_timestep):
+        return RectilinearDataset(
+            x=fields["x"], y=fields["y"], z=fields["z"],
+            cell_fields={"u": fields["u"], "v": fields["v"],
+                         "w": fields["w"]})
+
+    engine = DerivedFieldEngine(device=args.device, strategy=args.strategy)
+    expr_filter = PythonExpressionFilter(_expression(args), engine=engine)
+    pipeline = Pipeline(GlobalArrayReader(loader), [expr_filter])
+    image = pipeline.render(0, field=expr_filter.output_name,
+                            axis=args.axis)
+    save_ppm(image, args.output)
+    print(f"wrote {image.shape[1]}x{image.shape[0]} pseudocolor of "
+          f"{expr_filter.output_name!r} (axis {args.axis}) to "
+          f"{args.output}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    grid = (TABLE1_SUBGRIDS[args.table1_row - 1]
+            if args.table1_row else _parse_grid(args.grid))
+    name = args.expression
+    if name not in EXPRESSIONS:
+        raise SystemExit(
+            f"plan needs a named paper expression: {sorted(EXPRESSIONS)}")
+    result = run_case(name, grid, args.device, args.strategy)
+    status = "FAILED (out of device global memory)" if result.failed \
+        else "ok"
+    print(f"{name} on {grid.label()} ({grid.n_cells:,} cells), "
+          f"{args.device}/{args.strategy}: {status}")
+    print(f"  device memory high-water: "
+          f"{result.mem_high_water / GIB:.3f} GiB")
+    if not result.failed:
+        print(f"  modeled runtime: {result.runtime:.3f} s")
+        print(f"  events: Dev-W={result.dev_writes} "
+              f"Dev-R={result.dev_reads} K-Exe={result.kernel_execs}")
+    return 1 if result.failed else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Derived field generation framework "
+                    "(SC 2012 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("derive", help="evaluate an expression")
+    _add_common(p)
+    p.add_argument("expression",
+                   help="expression text, or a named one: "
+                        + ", ".join(EXPRESSIONS))
+    p.add_argument("--show-kernels", action="store_true",
+                   help="print the generated OpenCL C")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write the modeled device timeline as Chrome "
+                        "trace-event JSON")
+    p.set_defaults(fn=cmd_derive)
+
+    p = sub.add_parser("check",
+                       help="differentially validate generated OpenCL "
+                            "against the vectorized execution")
+    _add_common(p)
+    p.add_argument("expression")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("sweep", help="regenerate the evaluation tables")
+    p.add_argument("--metric", choices=("runtime", "memory"),
+                   default="runtime")
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("render", help="render a derived-field slice")
+    _add_common(p)
+    p.add_argument("expression")
+    p.add_argument("--axis", type=int, default=2, choices=(0, 1, 2))
+    p.add_argument("--output", default="derived.ppm")
+    p.set_defaults(fn=cmd_render)
+
+    p = sub.add_parser("plan",
+                       help="dry-run one full-scale configuration")
+    _add_common(p)
+    p.add_argument("expression")
+    p.add_argument("--table1-row", type=int, choices=range(1, 13),
+                   metavar="1..12",
+                   help="use a Table I sub-grid instead of --grid")
+    p.set_defaults(fn=cmd_plan)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

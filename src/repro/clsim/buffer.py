@@ -1,0 +1,129 @@
+"""Device global-memory buffers and the tracking allocator.
+
+The paper's memory study (Fig 6) measures "the maximum amount of global
+device memory reserved for OpenCL buffers during execution" by having the
+environment interface track every buffer request.  :class:`Allocator` does
+exactly that: it refuses allocations beyond the device's global memory
+(the mechanism behind the M2050's failed test cases) and records the
+high-water mark.
+
+Buffers may be *dry*: allocated and tracked without backing storage.  The
+full-scale paper grids (up to 2.6 GB per field) are planned this way, while
+scaled-down runs attach real NumPy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CLInvalidOperation, CLOutOfMemoryError
+from .device import DeviceSpec
+
+__all__ = ["Buffer", "Allocator"]
+
+
+class Allocator:
+    """Tracks global-memory consumption of one simulated device context."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+        self.current_bytes = 0
+        self.peak_bytes = 0
+        self.total_allocations = 0
+
+    def reserve(self, nbytes: int, label: str = "") -> None:
+        if nbytes < 0:
+            raise CLInvalidOperation(f"negative allocation: {nbytes}")
+        if self.current_bytes + nbytes > self.device.global_mem_bytes:
+            raise CLOutOfMemoryError(
+                f"allocating {nbytes} B for {label!r} exceeds "
+                f"{self.device.name} global memory "
+                f"({self.current_bytes} B in use of "
+                f"{self.device.global_mem_bytes} B)",
+                requested=nbytes,
+                available=self.device.global_mem_bytes - self.current_bytes,
+            )
+        self.current_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+        self.total_allocations += 1
+
+    def release(self, nbytes: int) -> None:
+        if nbytes > self.current_bytes:
+            raise CLInvalidOperation(
+                f"releasing {nbytes} B but only {self.current_bytes} B in use")
+        self.current_bytes -= nbytes
+
+    @property
+    def available_bytes(self) -> int:
+        return self.device.global_mem_bytes - self.current_bytes
+
+    def reset_peak(self) -> None:
+        self.peak_bytes = self.current_bytes
+
+
+class Buffer:
+    """A simulated ``cl.Buffer``.
+
+    ``data`` is the device-side copy as a NumPy array, or ``None`` for a dry
+    buffer.  Release is explicit (:meth:`release`) — the execution
+    strategies free intermediates as reference counts drop, which is what
+    produces their distinct memory footprints.
+    """
+
+    def __init__(self, allocator: Allocator, nbytes: int, *,
+                 label: str = "", dry: bool = False):
+        allocator.reserve(nbytes, label)
+        self._allocator = allocator
+        self.nbytes = nbytes
+        self.label = label
+        self.dry = dry
+        self.data: Optional[np.ndarray] = None
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def set_data(self, array: np.ndarray) -> None:
+        """Attach the device-side copy (host->device write)."""
+        self._check_alive()
+        if self.dry:
+            return
+        if array.nbytes != self.nbytes:
+            raise CLInvalidOperation(
+                f"buffer {self.label!r} is {self.nbytes} B but host array "
+                f"is {array.nbytes} B")
+        # Device memory is a distinct address space: always copy, never view,
+        # so in-situ host arrays are never aliased by kernels.
+        self.data = np.array(array, copy=True)
+
+    def get_data(self) -> np.ndarray:
+        """Return the device-side copy (device->host read)."""
+        self._check_alive()
+        if self.dry:
+            raise CLInvalidOperation(
+                f"buffer {self.label!r} is dry; no data to read")
+        if self.data is None:
+            raise CLInvalidOperation(
+                f"buffer {self.label!r} read before any write")
+        return self.data
+
+    def release(self) -> None:
+        """Return this buffer's bytes to the allocator (idempotent)."""
+        if self._released:
+            return
+        self._allocator.release(self.nbytes)
+        self.data = None
+        self._released = True
+
+    def _check_alive(self) -> None:
+        if self._released:
+            raise CLInvalidOperation(
+                f"operation on released buffer {self.label!r}")
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else (
+            "dry" if self.dry else "live")
+        return f"Buffer({self.label!r}, {self.nbytes} B, {state})"

@@ -1,0 +1,54 @@
+"""Simulated OpenCL context: a device binding plus its memory allocator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .buffer import Allocator, Buffer
+from .device import DeviceSpec
+
+__all__ = ["Context"]
+
+
+class Context:
+    """Owns the allocator for one simulated device.
+
+    ``dry_run=True`` makes every buffer created through this context dry
+    (tracked but storage-free), which is how full-paper-scale experiments
+    are planned without 2.6 GB arrays: the strategies run unmodified and
+    the allocator, event log, and performance model still see exact sizes.
+
+    ``backend`` selects how kernels execute: ``"vectorized"`` (default)
+    runs each kernel's NumPy executor; ``"interpreted"`` parses the
+    kernel's generated OpenCL C and executes it work-item by work-item
+    through :mod:`repro.clc` — far slower, but it proves the emitted
+    source end to end.
+    """
+
+    BACKENDS = ("vectorized", "interpreted")
+
+    def __init__(self, device: DeviceSpec, *, dry_run: bool = False,
+                 backend: str = "vectorized"):
+        if backend not in self.BACKENDS:
+            from ..errors import CLError
+            raise CLError(f"unknown backend {backend!r}; "
+                          f"choose from {self.BACKENDS}")
+        self.device = device
+        self.dry_run = dry_run
+        self.backend = backend
+        self.allocator = Allocator(device)
+
+    def create_buffer(self, nbytes: int, label: str = "") -> Buffer:
+        """Allocate device global memory (raises CLOutOfMemoryError)."""
+        return Buffer(self.allocator, nbytes, label=label, dry=self.dry_run)
+
+    def buffer_like(self, array: np.ndarray, label: str = "") -> Buffer:
+        return self.create_buffer(array.nbytes, label)
+
+    @property
+    def mem_in_use(self) -> int:
+        return self.allocator.current_bytes
+
+    @property
+    def mem_high_water(self) -> int:
+        return self.allocator.peak_bytes

@@ -1,0 +1,103 @@
+"""Simulated OpenCL device models.
+
+The paper evaluates on two OpenCL targets: the dual-socket Intel Xeon X5660
+("Westmere") CPU and the NVIDIA Tesla M2050 GPU of LLNL's Edge cluster.  No
+OpenCL runtime is available in this environment, so we model the devices
+explicitly: capacities and rates drive both the memory study (Fig 6 — the
+M2050's 3 GB global memory bound) and the analytic timing model (Fig 5).
+
+Rates are sustained-throughput figures for 2011/2012-era hardware taken from
+the vendors' specifications derated to typical achievable values; absolute
+numbers need only be plausible — the paper comparison is about *shape*
+(orderings and crossovers), which these preserve.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["DeviceType", "DeviceSpec", "INTEL_X5660_CPU", "NVIDIA_M2050_GPU",
+           "KIB", "MIB", "GIB"]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+class DeviceType(enum.Enum):
+    """OpenCL device classes we model (CL_DEVICE_TYPE_*)."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Capacities and sustained rates of a simulated OpenCL device.
+
+    ``link_bandwidth``/``link_latency`` describe the host<->device path: PCIe
+    for a discrete GPU, an in-memory copy for the CPU runtime (the Intel
+    OpenCL CPU driver still copies unless zero-copy flags are used, which
+    the paper's framework does not use).
+    """
+
+    name: str
+    device_type: DeviceType
+    global_mem_bytes: int          # device global memory capacity
+    mem_bandwidth: float           # sustained global-memory B/s inside kernels
+    flops_fp64: float              # sustained double-precision FLOP/s
+    flops_fp32: float              # sustained single-precision FLOP/s
+    link_bandwidth: float          # host<->device transfer B/s
+    link_latency: float            # per-transfer fixed cost, seconds
+    kernel_launch_overhead: float  # per-enqueue fixed cost, seconds
+    compile_overhead: float        # per-program build cost, seconds
+    registers_per_work_item: int   # available registers before spilling
+    preferred_vector_width: int = 4
+
+    def flops(self, dtype_itemsize: int) -> float:
+        """Sustained FLOP/s for a 4- or 8-byte element type."""
+        return self.flops_fp64 if dtype_itemsize >= 8 else self.flops_fp32
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether an allocation plan of ``nbytes`` fits in global memory."""
+        return nbytes <= self.global_mem_bytes
+
+
+# Two 2.8 GHz six-core Xeon X5660s per Edge node.  12 cores x 2.8 GHz x
+# 4 DP FLOP/cycle (SSE) ~= 134 GFLOP/s peak; we derate to ~100.  Triple
+# channel DDR3-1333 per socket is ~64 GB/s peak; ~21 GB/s sustained is
+# typical for STREAM on this part.  "Transfers" under the Intel CPU runtime
+# are memcpy-speed with negligible latency.
+INTEL_X5660_CPU = DeviceSpec(
+    name="Intel Xeon X5660 (Westmere, 2x6 cores)",
+    device_type=DeviceType.CPU,
+    global_mem_bytes=96 * GIB,
+    mem_bandwidth=21.0e9,
+    flops_fp64=100.0e9,
+    flops_fp32=200.0e9,
+    link_bandwidth=6.0e9,
+    link_latency=5.0e-6,
+    kernel_launch_overhead=25.0e-6,
+    compile_overhead=0.05,
+    registers_per_work_item=256,
+    preferred_vector_width=2,
+)
+
+# NVIDIA Tesla M2050 (Fermi): 3 GB GDDR5, 148 GB/s peak (~120 sustained),
+# 515 GFLOP/s DP / 1030 SP peak (~400/~800 sustained), dedicated x16 PCIe
+# gen2 (~5.5 GB/s effective with pinned memory).
+NVIDIA_M2050_GPU = DeviceSpec(
+    name="NVIDIA Tesla M2050 (Fermi)",
+    device_type=DeviceType.GPU,
+    global_mem_bytes=3 * GIB,
+    mem_bandwidth=120.0e9,
+    flops_fp64=400.0e9,
+    flops_fp32=800.0e9,
+    link_bandwidth=5.5e9,
+    link_latency=15.0e-6,
+    kernel_launch_overhead=8.0e-6,
+    compile_overhead=0.15,
+    registers_per_work_item=63,
+    preferred_vector_width=4,
+)

@@ -1,0 +1,113 @@
+"""The "OpenCL environment interface" from the paper.
+
+Section IV-D: *"Our framework provides an OpenCL environment interface built
+on top of PyOpenCL that records and categorizes timing events ... In
+addition to recording timing events, the interface manages requests for
+device buffers. The amount of memory reserved for each device buffer is
+tracked."*
+
+:class:`CLEnvironment` is that object: device selection, context + queue
+creation, buffer management, and the aggregated timing / event-count /
+memory views every study in the evaluation reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .buffer import Buffer
+from .context import Context
+from .device import DeviceSpec, DeviceType
+from .events import Event, EventCounts, EventKind
+from .perfmodel import transfer_seconds
+from .platform import find_device
+from .queue import CommandQueue
+
+__all__ = ["CLEnvironment", "TimingSummary"]
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Per-category simulated timing breakdown for one execution.
+
+    ``total`` corresponds to the y-axis of Fig 5: host-to-device transfers +
+    kernel executions + device-to-host transfers (build time is reported
+    separately, as the paper's timings exclude one-time compilation).
+    """
+
+    host_to_device: float
+    kernel_exec: float
+    device_to_host: float
+    build: float
+    wall: float
+
+    @property
+    def total(self) -> float:
+        return self.host_to_device + self.kernel_exec + self.device_to_host
+
+
+class CLEnvironment:
+    """One device's context, queue, and instrumentation."""
+
+    def __init__(self, device: str | DeviceType | DeviceSpec = "gpu", *,
+                 dry_run: bool = False, backend: str = "vectorized"):
+        if isinstance(device, DeviceSpec):
+            self.device = device
+        else:
+            self.device = find_device(device)
+        self.dry_run = dry_run
+        self.context = Context(self.device, dry_run=dry_run,
+                               backend=backend)
+        self.queue = CommandQueue(self.context)
+
+    # -- buffers -------------------------------------------------------------
+
+    def create_buffer(self, nbytes: int, label: str = "") -> Buffer:
+        return self.context.create_buffer(nbytes, label)
+
+    def upload(self, array: np.ndarray, label: str = "") -> Buffer:
+        """Allocate a buffer and enqueue the host->device write."""
+        buf = self.context.create_buffer(array.nbytes, label)
+        self.queue.enqueue_write_buffer(buf, array)
+        return buf
+
+    def upload_shape(self, nbytes: int, label: str = "") -> Buffer:
+        """Dry-run twin of :meth:`upload`: allocate and count the write
+        event without host data (used at full paper scale)."""
+        buf = self.context.create_buffer(nbytes, label)
+        self.queue.log.record(Event(
+            EventKind.DEV_WRITE, label, nbytes,
+            sim_seconds=transfer_seconds(nbytes, self.device)))
+        return buf
+
+    # -- instrumentation ----------------------------------------------------
+
+    def event_counts(self) -> EventCounts:
+        """The Table II (Dev-W, Dev-R, K-Exe) triple."""
+        return self.queue.log.counts()
+
+    def timing(self) -> TimingSummary:
+        log = self.queue.log
+        return TimingSummary(
+            host_to_device=log.sim_time([EventKind.DEV_WRITE]),
+            kernel_exec=log.sim_time([EventKind.KERNEL]),
+            device_to_host=log.sim_time([EventKind.DEV_READ]),
+            build=log.sim_time([EventKind.BUILD]),
+            wall=log.wall_time(),
+        )
+
+    @property
+    def mem_high_water(self) -> int:
+        """Peak global device memory reserved for buffers (Fig 6 y-axis)."""
+        return self.context.mem_high_water
+
+    @property
+    def mem_in_use(self) -> int:
+        return self.context.mem_in_use
+
+    def reset_instrumentation(self) -> None:
+        """Clear the event log and peak tracking between test cases."""
+        self.queue.log.clear()
+        self.context.allocator.reset_peak()

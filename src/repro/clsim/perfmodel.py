@@ -1,0 +1,79 @@
+"""Analytic device performance model.
+
+Real OpenCL hardware is unavailable, so simulated event durations come from
+a roofline-style model: a transfer costs latency plus bytes over the
+host-device link; a kernel costs launch overhead plus the larger of its
+memory-traffic time and its arithmetic time, with a penalty once a fused
+kernel's register working set spills to global memory.
+
+Only *relative* behaviour matters for reproducing the paper's Fig 5 —
+which strategy wins on which device, and by roughly what factor — and that
+is fully determined by the event streams the strategies generate (bytes
+moved, kernels launched, FLOPs performed) combined with these rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+__all__ = ["KernelCost", "transfer_seconds", "kernel_seconds",
+           "build_seconds"]
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Resource usage of one kernel launch, supplied by the strategy.
+
+    ``global_bytes`` is total global-memory traffic (reads + writes);
+    ``flops`` the floating-point work; ``register_words`` the per-work-item
+    live intermediate count for the spill model (0 disables it);
+    ``elements`` the ND-range size (falls back to an estimate from
+    ``global_bytes`` when omitted).
+    """
+
+    global_bytes: int
+    flops: int
+    register_words: int = 0
+    itemsize: int = 8
+    elements: int = 0
+
+    def __add__(self, other: "KernelCost") -> "KernelCost":
+        return KernelCost(
+            self.global_bytes + other.global_bytes,
+            self.flops + other.flops,
+            max(self.register_words, other.register_words),
+            max(self.itemsize, other.itemsize),
+            max(self.elements, other.elements),
+        )
+
+
+def transfer_seconds(nbytes: int, device: DeviceSpec) -> float:
+    """Host->device or device->host transfer time."""
+    return device.link_latency + nbytes / device.link_bandwidth
+
+
+def kernel_seconds(cost: KernelCost, device: DeviceSpec) -> float:
+    """Roofline kernel-execution time with a register-spill penalty.
+
+    When the fused kernel's live intermediates exceed the device's register
+    budget, each excess word adds a spill store+load per element, which we
+    fold in as extra global traffic.
+    """
+    traffic = cost.global_bytes
+    if cost.register_words > device.registers_per_work_item:
+        excess = cost.register_words - device.registers_per_work_item
+        # Each spilled word costs one store and one load per element.
+        elements = cost.elements or max(
+            1, cost.global_bytes // (2 * max(1, cost.itemsize)))
+        traffic += 2 * excess * cost.itemsize * elements
+    mem_time = traffic / device.mem_bandwidth
+    flop_time = cost.flops / device.flops(cost.itemsize)
+    return device.kernel_launch_overhead + max(mem_time, flop_time)
+
+
+def build_seconds(n_kernels: int, source_lines: int,
+                  device: DeviceSpec) -> float:
+    """Program build time: fixed overhead plus a small per-line cost."""
+    return device.compile_overhead * n_kernels + 2.0e-5 * source_lines

@@ -1,0 +1,61 @@
+"""Simulated OpenCL platform enumeration.
+
+Edge's batch nodes expose two OpenCL runtime platforms — Intel (CPU) and
+NVIDIA (GPU) — and the paper's evaluation targets both.  This module is the
+``pyopencl.get_platforms()`` analogue over our device models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CLError
+from .device import DeviceSpec, DeviceType, INTEL_X5660_CPU, NVIDIA_M2050_GPU
+
+__all__ = ["Platform", "get_platforms", "find_device"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One OpenCL platform and its devices."""
+
+    name: str
+    vendor: str
+    version: str
+    devices: tuple[DeviceSpec, ...]
+
+
+_PLATFORMS = (
+    Platform(
+        name="Intel(R) OpenCL",
+        vendor="Intel(R) Corporation",
+        version="OpenCL 1.1 (simulated)",
+        devices=(INTEL_X5660_CPU,),
+    ),
+    Platform(
+        name="NVIDIA CUDA",
+        vendor="NVIDIA Corporation",
+        version="OpenCL 1.1 CUDA 4.2 (simulated)",
+        devices=(NVIDIA_M2050_GPU, NVIDIA_M2050_GPU),  # two GPUs per node
+    ),
+)
+
+
+def get_platforms() -> tuple[Platform, ...]:
+    """All simulated platforms on the (virtual) node."""
+    return _PLATFORMS
+
+
+def find_device(kind: str | DeviceType) -> DeviceSpec:
+    """Look up a device by type name ('cpu' / 'gpu') or :class:`DeviceType`."""
+    if isinstance(kind, str):
+        try:
+            kind = DeviceType(kind.lower())
+        except ValueError:
+            raise CLError(f"unknown device type {kind!r}; "
+                          "expected 'cpu' or 'gpu'") from None
+    for platform in _PLATFORMS:
+        for device in platform.devices:
+            if device.device_type is kind:
+                return device
+    raise CLError(f"no device of type {kind} available")  # pragma: no cover

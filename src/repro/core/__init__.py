@@ -1,0 +1,27 @@
+"""Facade over the paper's primary contribution.
+
+The derived-field framework proper spans four subpackages — the expression
+front-end (:mod:`repro.expr`), the dataflow network (:mod:`repro.dataflow`),
+the primitive library (:mod:`repro.primitives`), and the execution
+strategies (:mod:`repro.strategies`) — orchestrated by the host engine
+(:mod:`repro.host`).  This module re-exports the one-stop surface so user
+code can say ``from repro.core import derive, DerivedFieldEngine``.
+"""
+
+from ..dataflow import Network, NetworkSpec
+from ..expr import eliminate_common_subexpressions, lower, parse
+from ..host.engine import CompiledExpression, DerivedFieldEngine
+from ..host.interface import derive, derive_report
+from ..primitives import DEFAULT_REGISTRY, Primitive, default_registry
+from ..strategies import (FusionStrategy, ReferenceKernel,
+                          RoundtripStrategy, StagedStrategy, get_strategy,
+                          plan)
+
+__all__ = [
+    "parse", "lower", "eliminate_common_subexpressions",
+    "Network", "NetworkSpec",
+    "CompiledExpression", "DerivedFieldEngine", "derive", "derive_report",
+    "Primitive", "DEFAULT_REGISTRY", "default_registry",
+    "RoundtripStrategy", "StagedStrategy", "FusionStrategy",
+    "ReferenceKernel", "get_strategy", "plan",
+]

@@ -1,0 +1,15 @@
+"""Python dataflow network (Section III-B).
+
+``NetworkSpec`` is the create-and-connect definition API the parser targets
+(and that hosts may drive directly); ``Network`` validates a spec, resolves
+dependencies with a topological sort, and exposes the reference counts the
+execution strategies use to reuse and release intermediates.
+"""
+
+from .dot import render_dot
+from .network import Network, NodeInfo
+from .script import render_script
+from .spec import CONST, SOURCE, NetworkSpec, NodeSpec
+
+__all__ = ["Network", "NodeInfo", "render_dot", "render_script",
+           "CONST", "SOURCE", "NetworkSpec", "NodeSpec"]

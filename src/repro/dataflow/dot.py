@@ -1,0 +1,63 @@
+"""Graphviz DOT rendering of dataflow networks (the paper's Fig 4).
+
+Fig 4 *is* a drawing of the Q-criterion dataflow network; this module
+regenerates it (``benchmarks/bench_fig4_network.py`` writes the artifact).
+Sources render as ellipses, constants as diamonds, filters as boxes —
+matching the paper's circles-for-data / boxes-for-filters convention from
+Fig 2 — with user-assigned names from assignment statements attached as
+labels.
+"""
+
+from __future__ import annotations
+
+from .spec import CONST, SOURCE, NetworkSpec
+
+__all__ = ["render_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def render_dot(spec: NetworkSpec, *, graph_name: str = "network") -> str:
+    """Emit a Graphviz digraph for a network specification."""
+    alias_of: dict[str, list[str]] = {}
+    for user_name, node_id in spec.aliases.items():
+        alias_of.setdefault(node_id, []).append(user_name)
+    outputs = set(spec.outputs)
+
+    lines = [f'digraph "{_escape(graph_name)}" {{',
+             "    rankdir=TB;",
+             '    node [fontname="Helvetica", fontsize=11];']
+    for node in spec.nodes:
+        names = alias_of.get(node.id, [])
+        if node.filter == SOURCE:
+            label = node.id
+            shape, style = "ellipse", "filled"
+            color = "#cfe8ff"
+        elif node.filter == CONST:
+            label = repr(node.param("value"))
+            shape, style = "diamond", "filled"
+            color = "#fff2bf"
+        else:
+            label = node.filter
+            component = node.param("component")
+            if component is not None:
+                label = f"{label}[{component}]"
+            if names:
+                label += "\\n" + ", ".join(sorted(names))
+            shape, style = "box", "rounded,filled"
+            color = "#e8ffe8" if node.id not in outputs else "#ffd9d9"
+        lines.append(
+            f'    "{node.id}" [label="{_escape(label)}", shape={shape}, '
+            f'style="{style}", fillcolor="{color}"];')
+    for node in spec.nodes:
+        for input_id in node.inputs:
+            lines.append(f'    "{input_id}" -> "{node.id}";')
+    for output in spec.outputs:
+        lines.append(
+            f'    "__result__" [label="derived field", shape=ellipse, '
+            f'style="filled", fillcolor="#cfe8ff"];')
+        lines.append(f'    "{output}" -> "__result__";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,47 @@
+"""Render a network specification as an inspectable Python script.
+
+Section III-B1: *"The process optionally creates a Python script that
+outlines all API calls, which can be inspected by the user."*  The emitted
+script is runnable: executing it rebuilds an equivalent
+:class:`~repro.dataflow.spec.NetworkSpec` named ``net``.
+"""
+
+from __future__ import annotations
+
+from .spec import CONST, SOURCE, NetworkSpec
+
+__all__ = ["render_script"]
+
+
+def render_script(spec: NetworkSpec) -> str:
+    """Emit the create-and-connect API calls that rebuild ``spec``."""
+    lines = [
+        "# Auto-generated dataflow network definition.",
+        "# Running this script rebuilds the network as `net`.",
+        "from repro.dataflow import NetworkSpec",
+        "",
+        "net = NetworkSpec()",
+    ]
+    id_to_var: dict[str, str] = {}
+    for i, node in enumerate(spec.nodes):
+        var = f"n{i}"
+        id_to_var[node.id] = var
+        if node.filter == SOURCE:
+            lines.append(f"{var} = net.add_source({node.id!r})")
+        elif node.filter == CONST:
+            lines.append(f"{var} = net.add_const({node.param('value')!r})")
+        else:
+            inputs = ", ".join(id_to_var[i] for i in node.inputs)
+            params = {k: v for k, v in node.params}
+            if params:
+                lines.append(
+                    f"{var} = net.add_filter({node.filter!r}, [{inputs}], "
+                    f"params={params!r})")
+            else:
+                lines.append(
+                    f"{var} = net.add_filter({node.filter!r}, [{inputs}])")
+    for user_name, node_id in spec.aliases.items():
+        lines.append(f"net.alias({user_name!r}, {id_to_var[node_id]})")
+    for output in spec.outputs:
+        lines.append(f"net.set_output({id_to_var[output]})")
+    return "\n".join(lines) + "\n"

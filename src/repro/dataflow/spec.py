@@ -1,0 +1,170 @@
+"""Dataflow network specification — the parser's output and the
+"create and connect" user API.
+
+Section III-B1: *"Our system provides a network definition API that
+reflects the 'create and connect' modality of the dataflow paradigm. Our
+front-end parser uses this API to construct a dataflow network specification
+that realizes the user's expression ... The API can also be used directly
+from Python, by a user or by a host application."*
+
+A :class:`NetworkSpec` is an ordered list of :class:`NodeSpec`:
+
+* ``source`` nodes name external input arrays (mesh fields, coordinates,
+  ``dims``);
+* ``const`` nodes carry literal values, pooled so each distinct constant
+  appears once ("common constants are reduced to single instances of source
+  filters");
+* filter nodes apply a primitive to the outputs of earlier nodes.
+
+Filter invocations get generic names (``op0000``, ``op0001``, ...) when
+encountered; assignment statements map user names onto them via
+:meth:`NetworkSpec.alias`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Optional
+
+from ..errors import NetworkError
+
+__all__ = ["NodeSpec", "NetworkSpec", "SOURCE", "CONST"]
+
+SOURCE = "source"
+CONST = "const"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node of a network specification."""
+
+    id: str
+    filter: str                      # SOURCE, CONST, or a primitive name
+    inputs: tuple[str, ...] = ()
+    params: tuple[tuple[str, object], ...] = ()
+
+    def param(self, key: str, default=None):
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def signature(self) -> tuple:
+        """Structural identity used by common-subexpression elimination."""
+        return (self.filter, self.inputs, self.params)
+
+
+class NetworkSpec:
+    """An ordered, append-only network under construction."""
+
+    def __init__(self):
+        self.nodes: list[NodeSpec] = []
+        self._by_id: dict[str, NodeSpec] = {}
+        self.aliases: dict[str, str] = {}
+        self.outputs: list[str] = []
+        self._counter = 0
+        self._const_pool: dict[object, str] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def _fresh_id(self) -> str:
+        node_id = f"op{self._counter:04d}"
+        self._counter += 1
+        return node_id
+
+    def _append(self, node: NodeSpec) -> str:
+        if node.id in self._by_id:
+            raise NetworkError(f"duplicate node id {node.id!r}")
+        self.nodes.append(node)
+        self._by_id[node.id] = node
+        return node.id
+
+    def add_source(self, name: str) -> str:
+        """Declare an external input array.  Idempotent per name."""
+        if name in self._by_id and self._by_id[name].filter == SOURCE:
+            return name
+        return self._append(NodeSpec(name, SOURCE))
+
+    def add_const(self, value: float) -> str:
+        """Add a literal constant, pooled across the whole network."""
+        key = repr(value)
+        if key in self._const_pool:
+            return self._const_pool[key]
+        node_id = self._append(NodeSpec(
+            self._fresh_id(), CONST, params=(("value", value),)))
+        self._const_pool[key] = node_id
+        return node_id
+
+    def add_filter(self, filter_name: str, inputs: Iterable[str],
+                   params: Optional[Mapping[str, object]] = None) -> str:
+        """Append a filter invocation and return its generic name."""
+        inputs = tuple(inputs)
+        for input_id in inputs:
+            if input_id not in self._by_id:
+                raise NetworkError(
+                    f"filter {filter_name!r} references unknown node "
+                    f"{input_id!r}")
+        node_params = tuple(sorted((params or {}).items()))
+        return self._append(NodeSpec(
+            self._fresh_id(), filter_name, inputs, node_params))
+
+    def alias(self, user_name: str, node_id: str) -> None:
+        """Map an assignment-statement name onto a node."""
+        if node_id not in self._by_id:
+            raise NetworkError(f"alias to unknown node {node_id!r}")
+        self.aliases[user_name] = node_id
+
+    def set_output(self, node_id: str) -> None:
+        resolved = self.resolve(node_id)
+        if resolved not in self.outputs:
+            self.outputs.append(resolved)
+
+    # -- queries --------------------------------------------------------------
+
+    def resolve(self, name: str) -> str:
+        """Resolve a user name or node id to a node id."""
+        if name in self.aliases:
+            return self.aliases[name]
+        if name in self._by_id:
+            return name
+        raise NetworkError(f"unknown node or alias {name!r}")
+
+    def node(self, node_id: str) -> NodeSpec:
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node {node_id!r}") from None
+
+    def source_names(self) -> list[str]:
+        return [n.id for n in self.nodes if n.filter == SOURCE]
+
+    def filter_nodes(self) -> list[NodeSpec]:
+        return [n for n in self.nodes if n.filter not in (SOURCE, CONST)]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- rewriting (used by the optimizer) ------------------------------------
+
+    def rewrite(self, keep: Iterable[str],
+                replacement: Mapping[str, str]) -> "NetworkSpec":
+        """Return a new spec keeping only ``keep`` nodes, with every input
+        reference passed through ``replacement`` (old id -> surviving id)."""
+        keep_set = set(keep)
+        out = NetworkSpec()
+        out._counter = self._counter
+        for node in self.nodes:
+            if node.id not in keep_set:
+                continue
+            remapped = replace(node, inputs=tuple(
+                replacement.get(i, i) for i in node.inputs))
+            out._append(remapped)
+            if node.filter == CONST:
+                out._const_pool[repr(node.param("value"))] = node.id
+        for user_name, node_id in self.aliases.items():
+            target = replacement.get(node_id, node_id)
+            if target in out._by_id:
+                out.aliases[user_name] = target
+        for output in self.outputs:
+            out.set_output(replacement.get(output, output))
+        return out

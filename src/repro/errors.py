@@ -1,0 +1,81 @@
+"""Exception hierarchy shared across the framework.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so host
+applications embedding the framework in situ can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all framework errors."""
+
+
+class ExpressionError(ReproError):
+    """Problem with a user expression (lexing, parsing, or lowering)."""
+
+
+class LexError(ExpressionError):
+    """Illegal character or token in an expression."""
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+
+class ParseError(ExpressionError):
+    """Syntax error while parsing an expression."""
+
+    def __init__(self, message: str, token=None):
+        super().__init__(message)
+        self.token = token
+
+
+class GrammarError(ReproError):
+    """A grammar definition handed to the parser generator is invalid."""
+
+
+class LoweringError(ExpressionError):
+    """The expression parsed, but could not be turned into a network."""
+
+
+class NetworkError(ReproError):
+    """Invalid dataflow network (cycle, missing input, unknown filter...)."""
+
+
+class PrimitiveError(ReproError):
+    """A derived-field primitive is misused or misdefined."""
+
+
+class CLError(ReproError):
+    """Base class for the simulated OpenCL runtime."""
+
+
+class CLOutOfMemoryError(CLError):
+    """Device global memory exhausted (mirrors CL_MEM_OBJECT_ALLOCATION_FAILURE)."""
+
+    def __init__(self, message: str, requested: int = 0, available: int = 0):
+        super().__init__(message)
+        self.requested = requested
+        self.available = available
+
+
+class CLBuildError(CLError):
+    """Simulated kernel compilation failed."""
+
+
+class CLInvalidOperation(CLError):
+    """Operation on a released/invalid CL object."""
+
+
+class StrategyError(ReproError):
+    """An execution strategy could not execute the network."""
+
+
+class HostInterfaceError(ReproError):
+    """Bad inputs handed to the in-situ host interface."""
+
+
+class MPIError(ReproError):
+    """Error in the simulated MPI layer."""

@@ -1,0 +1,15 @@
+"""Evaluation sweeps and paper-style reporting shared by the benchmark
+harness, examples, and tests."""
+
+from .report import (EXPR_SHORT, format_fig_series, format_table1,
+                     format_table2)
+from .scaling import (ScalingPoint, format_scaling, strong_scaling,
+                      weak_scaling)
+from .sweep import (CaseResult, DEVICES, EXECUTORS, gpu_success_rate,
+                    run_case, run_sweep)
+
+__all__ = ["CaseResult", "DEVICES", "EXECUTORS", "run_case", "run_sweep",
+           "gpu_success_rate", "EXPR_SHORT", "format_fig_series",
+           "format_table1", "format_table2",
+           "ScalingPoint", "format_scaling", "strong_scaling",
+           "weak_scaling"]

@@ -1,0 +1,86 @@
+"""Paper-style table and series formatting for the evaluation sweeps."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..analysis.vortex import EXPRESSIONS
+from ..clsim.device import GIB, NVIDIA_M2050_GPU
+from ..workloads.datasets import SubGrid, TABLE1_SUBGRIDS
+from .sweep import CaseResult
+
+__all__ = ["format_table1", "format_table2", "format_fig_series",
+           "EXPR_SHORT"]
+
+EXPR_SHORT = {
+    "velocity_magnitude": "VelMag",
+    "vorticity_magnitude": "VortMag",
+    "q_criterion": "Q-Crit",
+}
+
+
+def format_table1(grids: Iterable[SubGrid] = TABLE1_SUBGRIDS) -> str:
+    """Render Table I (sub-grid catalogue)."""
+    lines = [f"{'Sub-grid Dimensions':>22} | {'# of Cells':>12} | "
+             f"{'Data Size':>10}"]
+    lines.append("-" * len(lines[0]))
+    for grid in grids:
+        mib = grid.data_size_bytes() / 2**20
+        size = f"{mib:,.0f} MiB" if mib < 1024 else f"{mib / 1024:.1f} GiB"
+        lines.append(
+            f"{grid.ni} x {grid.nj} x {grid.nk:>4}".rjust(22)
+            + f" | {grid.n_cells:>12,} | {size:>10}")
+    return "\n".join(lines)
+
+
+def format_table2(results: list[CaseResult]) -> str:
+    """Render Table II (Dev-W / Dev-R / K-Exe per expression x strategy)."""
+    lines = [f"{'Expression':<10} {'Strategy':<10} "
+             f"{'Dev-W':>6} {'Dev-R':>6} {'K-Exe':>6}"]
+    lines.append("-" * len(lines[0]))
+    seen = set()
+    for result in results:
+        key = (result.expression, result.executor)
+        if key in seen or result.executor == "reference":
+            continue
+        seen.add(key)
+        lines.append(
+            f"{EXPR_SHORT[result.expression]:<10} "
+            f"{result.executor.capitalize():<10} "
+            f"{result.dev_writes:>6} {result.dev_reads:>6} "
+            f"{result.kernel_execs:>6}")
+    return "\n".join(lines)
+
+
+def format_fig_series(results: list[CaseResult], *, metric: str,
+                      expression: str) -> str:
+    """Render one Fig 5 (metric='runtime') or Fig 6 (metric='memory')
+    panel: series per (device, executor) over the 12 grid sizes."""
+    rows = [r for r in results if r.expression == expression]
+    grids = sorted({r.grid for r in rows}, key=lambda g: g.n_cells)
+    series = sorted({(r.device, r.executor) for r in rows})
+    header = f"{'cells (M)':>10}" + "".join(
+        f"  {dev}/{ex:<10}"[:16].ljust(16) for dev, ex in series)
+    lines = [f"== {EXPR_SHORT[expression]}: "
+             f"{'runtime (s, modeled)' if metric == 'runtime' else 'device memory (GiB)'} ==",
+             header]
+    gpu_limit_drawn = False
+    for grid in grids:
+        cells = f"{grid.n_cells / 1e6:>10.1f}"
+        cols = []
+        for dev, ex in series:
+            match = next(r for r in rows
+                         if r.grid == grid and (r.device, r.executor)
+                         == (dev, ex))
+            if metric == "runtime":
+                value = "FAIL" if match.failed else f"{match.runtime:.3f}"
+            else:
+                value = f"{match.mem_high_water / GIB:.3f}" + (
+                    "*" if match.failed else "")
+            cols.append(f"  {value:<14}")
+        lines.append(cells + "".join(cols))
+    if metric == "memory":
+        lines.append(f"(GPU global memory limit: "
+                     f"{NVIDIA_M2050_GPU.global_mem_bytes / GIB:.1f} GiB; "
+                     "'*' = GPU case failed)")
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Distributed scaling studies — the paper's third future-work item
+(Section VI: "a comprehensive performance study of our framework in a
+distributed-memory parallel setting").
+
+Built on the per-rank planner: every configuration is characterized by its
+slowest rank (the makespan), since the computation is embarrassingly
+parallel and the paper's decomposition gives every rank identically-sized
+blocks.
+
+* **Strong scaling** — the full 3072-block data set on growing GPU counts:
+  blocks per GPU shrink, makespan drops, efficiency stays near 1 until
+  per-rank fixed costs (kernel launches, transfer latencies) dominate.
+* **Weak scaling** — a fixed number of blocks per GPU on growing GPU
+  counts: makespan should stay flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..analysis.vortex import EXPRESSIONS
+from ..par.driver import plan_distributed
+from ..workloads.datasets import FULL_DATASET
+
+__all__ = ["ScalingPoint", "strong_scaling", "weak_scaling",
+           "format_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One configuration of a scaling study."""
+
+    n_ranks: int
+    blocks_per_rank: int
+    makespan: float           # modeled seconds for the slowest rank
+    mem_per_rank: int         # peak device bytes on any rank
+    failed_ranks: int
+
+    @property
+    def total_blocks(self) -> int:
+        return self.n_ranks * self.blocks_per_rank
+
+
+def _plan_point(expression: str, n_ranks: int, n_blocks: int, *,
+                strategy: str, device: str) -> ScalingPoint:
+    blocks_per_rank = n_blocks // n_ranks
+    # The planner characterizes one (identical) block per rank; the rank
+    # time is blocks_per_rank sequential block executions.
+    plans = plan_distributed(
+        EXPRESSIONS[expression],
+        global_dims=FULL_DATASET["global_dims"],
+        block_dims=FULL_DATASET["block_dims"],
+        n_ranks=n_ranks, strategy=strategy, device=device,
+        devices_per_node=2)
+    failed = sum(1 for p in plans if p.failed)
+    ok = [p for p in plans if not p.failed]
+    per_block = max((p.timing.total for p in ok), default=float("inf"))
+    return ScalingPoint(
+        n_ranks=n_ranks,
+        blocks_per_rank=blocks_per_rank,
+        makespan=per_block * blocks_per_rank,
+        mem_per_rank=max((p.mem_high_water for p in plans), default=0),
+        failed_ranks=failed)
+
+
+def strong_scaling(expression: str = "q_criterion",
+                   rank_counts: Iterable[int] = (32, 64, 128, 256, 512,
+                                                 1024),
+                   *, strategy: str = "fusion",
+                   device: str = "gpu") -> list[ScalingPoint]:
+    """Fixed problem (the paper's 3072 blocks), growing device counts.
+
+    Rank counts must divide 3072 so blocks stay balanced, as in Fig 7.
+    """
+    n_blocks = FULL_DATASET["n_blocks"]
+    points = []
+    for n_ranks in rank_counts:
+        if n_blocks % n_ranks != 0:
+            raise ValueError(
+                f"{n_ranks} ranks do not divide {n_blocks} blocks")
+        points.append(_plan_point(expression, n_ranks, n_blocks,
+                                  strategy=strategy, device=device))
+    return points
+
+
+def weak_scaling(expression: str = "q_criterion",
+                 rank_counts: Iterable[int] = (32, 64, 128, 256, 512),
+                 blocks_per_rank: int = 12, *, strategy: str = "fusion",
+                 device: str = "gpu") -> list[ScalingPoint]:
+    """Fixed blocks per device, growing device counts (growing problem)."""
+    points = []
+    for n_ranks in rank_counts:
+        points.append(_plan_point(
+            expression, n_ranks, n_ranks * blocks_per_rank,
+            strategy=strategy, device=device))
+    return points
+
+
+def format_scaling(points: list[ScalingPoint], *, kind: str) -> str:
+    """Render a study as a table with speedup/efficiency columns."""
+    base = points[0]
+    lines = [f"== {kind} scaling (modeled, per-rank makespan) ==",
+             f"{'ranks':>6} {'blk/rank':>8} {'makespan s':>11} "
+             f"{'speedup':>8} {'efficiency':>11} {'mem/rank GiB':>13}"]
+    for point in points:
+        if kind == "strong":
+            speedup = base.makespan / point.makespan
+            efficiency = speedup / (point.n_ranks / base.n_ranks)
+        else:
+            speedup = base.makespan / point.makespan
+            efficiency = base.makespan / point.makespan
+        lines.append(
+            f"{point.n_ranks:>6} {point.blocks_per_rank:>8} "
+            f"{point.makespan:>11.3f} {speedup:>8.2f} "
+            f"{efficiency:>11.2f} "
+            f"{point.mem_per_rank / 2**30:>13.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Expression front-end: lexer, LALR(1) grammar, AST, lowering, and the
+limited CSE optimizer (Section III-A of the paper)."""
+
+from . import ast
+from .lower import COMPARE_FILTERS, FUNCTION_ALIASES, OP_FILTERS, lower
+from .optimize import eliminate_common_subexpressions
+from .parser import parse, parser_diagnostics
+
+__all__ = ["ast", "parse", "parser_diagnostics", "lower",
+           "eliminate_common_subexpressions",
+           "OP_FILTERS", "COMPARE_FILTERS", "FUNCTION_ALIASES"]

@@ -1,0 +1,127 @@
+"""Abstract syntax tree for the expression language.
+
+The grammar mirrors the paper's examples (Fig 3 and the introduction):
+assignment statements over arithmetic, function invocations, C-style
+bracket component access, comparisons, and ``if (c) then (a) else (b)``
+conditionals.  A parsed program is a :class:`Program` — a list of
+statements whose final statement defines the derived field returned to the
+host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["Num", "Ident", "BinOp", "UnaryOp", "Compare", "Call", "Index",
+           "IfExpr", "Assign", "Program", "Expr", "walk"]
+
+
+@dataclass(frozen=True)
+class Num:
+    """A numeric literal."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class Ident:
+    """A variable reference: an earlier assignment or an input field."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary arithmetic: op in {'+', '-', '*', '/'}."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary arithmetic: op in {'-'}."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Compare:
+    """Comparison: op in {'<', '>', '<=', '>=', '==', '!='}."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    """A filter invocation: ``grad3d(u, dims, x, y, z)``."""
+
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Index:
+    """Bracket component access: ``du[1]`` (the decompose filter)."""
+
+    base: "Expr"
+    component: int
+
+
+@dataclass(frozen=True)
+class IfExpr:
+    """``if (cond) then (a) else (b)`` from the paper's introduction."""
+
+    cond: "Expr"
+    then: "Expr"
+    otherwise: "Expr"
+
+
+Expr = Union[Num, Ident, BinOp, UnaryOp, Compare, Call, Index, IfExpr]
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``name = expr``; "simple" or "nested" statements alike."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Program:
+    """A full user expression: one or more statements."""
+
+    statements: tuple[Assign, ...]
+
+    @property
+    def result_name(self) -> str:
+        return self.statements[-1].name
+
+
+def walk(node):
+    """Yield ``node`` and all AST nodes beneath it (pre-order)."""
+    yield node
+    if isinstance(node, Program):
+        children: tuple = node.statements
+    elif isinstance(node, Assign):
+        children = (node.expr,)
+    elif isinstance(node, (BinOp, Compare)):
+        children = (node.left, node.right)
+    elif isinstance(node, UnaryOp):
+        children = (node.operand,)
+    elif isinstance(node, Call):
+        children = node.args
+    elif isinstance(node, Index):
+        children = (node.base,)
+    elif isinstance(node, IfExpr):
+        children = (node.cond, node.then, node.otherwise)
+    else:
+        children = ()
+    for child in children:
+        yield from walk(child)

@@ -1,0 +1,39 @@
+"""Token definitions for the expression language lexer."""
+
+from __future__ import annotations
+
+from ..lexyacc import LexerSpec, TokenRule, build_lexer
+
+__all__ = ["EXPR_LEXER_SPEC", "expression_lexer"]
+
+
+def _number(text: str) -> float:
+    return float(text)
+
+
+EXPR_LEXER_SPEC = LexerSpec(
+    rules=[
+        TokenRule("COMMENT", r"#[^\n]*", lambda _: None),
+        TokenRule("NUMBER",
+                  r"(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?", _number),
+        TokenRule("IDENT", r"[A-Za-z_]\w*", str),
+        # two-character operators before their one-character prefixes
+        TokenRule("LE", r"<="), TokenRule("GE", r">="),
+        TokenRule("EQEQ", r"=="), TokenRule("NEQ", r"!="),
+        TokenRule("LT", r"<"), TokenRule("GT", r">"),
+        TokenRule("ASSIGN", r"="),
+        TokenRule("PLUS", r"\+"), TokenRule("MINUS", r"-"),
+        TokenRule("TIMES", r"\*"), TokenRule("DIVIDE", r"/"),
+        TokenRule("LPAREN", r"\("), TokenRule("RPAREN", r"\)"),
+        TokenRule("LBRACKET", r"\["), TokenRule("RBRACKET", r"\]"),
+        TokenRule("COMMA", r","),
+        TokenRule("SEMI", r";", lambda _: None),  # optional separators
+    ],
+    keywords={"if": "IF", "then": "THEN", "else": "ELSE"},
+    identifier_rule="IDENT",
+)
+
+
+def expression_lexer():
+    """Build the (stateless, reusable) expression lexer."""
+    return build_lexer(EXPR_LEXER_SPEC)

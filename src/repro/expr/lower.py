@@ -1,0 +1,121 @@
+"""Lower a parsed expression AST into a dataflow network specification.
+
+This is the parse-tree traversal of Section III-A: filter invocations get
+generic names as they are encountered, assignment statements alias user
+names onto them, binary operators translate to their dataflow filter names,
+and bracket accesses become ``decompose`` filters.  Free identifiers become
+``source`` nodes — the arrays the host application binds at execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..dataflow.spec import NetworkSpec
+from ..errors import LoweringError
+from ..primitives.base import PrimitiveRegistry, ResultKind
+from ..primitives.registry import DEFAULT_REGISTRY
+from . import ast
+
+__all__ = ["lower", "OP_FILTERS", "COMPARE_FILTERS", "FUNCTION_ALIASES"]
+
+OP_FILTERS = {"+": "add", "-": "sub", "*": "mult", "/": "div"}
+COMPARE_FILTERS = {"<": "lt", ">": "gt", "<=": "le", ">=": "ge",
+                   "==": "eq", "!=": "ne"}
+# Convenience names accepted in expressions, in the VisIt calculator style.
+FUNCTION_ALIASES = {"norm": "vmag", "magnitude": "vmag", "grad": "grad3d"}
+
+
+class _Lowerer:
+    def __init__(self, registry: PrimitiveRegistry,
+                 known_fields: Optional[Mapping[str, ResultKind]]):
+        self.spec = NetworkSpec()
+        self.registry = registry
+        self.known_fields = known_fields
+        self.env: dict[str, str] = {}
+        self.source_kinds: dict[str, ResultKind] = {}
+
+    def run(self, program: ast.Program) -> NetworkSpec:
+        for statement in program.statements:
+            node_id = self.visit(statement.expr)
+            self.env[statement.name] = node_id
+            self.spec.alias(statement.name, node_id)
+        self.spec.set_output(self.env[program.result_name])
+        return self.spec
+
+    # -- expression dispatch ------------------------------------------------
+
+    def visit(self, node: ast.Expr) -> str:
+        method = getattr(self, f"_visit_{type(node).__name__.lower()}", None)
+        if method is None:  # pragma: no cover - AST is closed
+            raise LoweringError(f"cannot lower {type(node).__name__}")
+        return method(node)
+
+    def _visit_num(self, node: ast.Num) -> str:
+        return self.spec.add_const(node.value)
+
+    def _visit_ident(self, node: ast.Ident) -> str:
+        if node.name in self.env:
+            return self.env[node.name]
+        if self.known_fields is not None:
+            if node.name not in self.known_fields:
+                raise LoweringError(
+                    f"unknown variable {node.name!r}: not assigned earlier "
+                    f"and not among host fields "
+                    f"{sorted(self.known_fields)}")
+            self.source_kinds[node.name] = self.known_fields[node.name]
+        source_id = self.spec.add_source(node.name)
+        self.env[node.name] = source_id
+        return source_id
+
+    def _visit_binop(self, node: ast.BinOp) -> str:
+        return self.spec.add_filter(
+            OP_FILTERS[node.op], [self.visit(node.left),
+                                  self.visit(node.right)])
+
+    def _visit_unaryop(self, node: ast.UnaryOp) -> str:
+        return self.spec.add_filter("neg", [self.visit(node.operand)])
+
+    def _visit_compare(self, node: ast.Compare) -> str:
+        return self.spec.add_filter(
+            COMPARE_FILTERS[node.op], [self.visit(node.left),
+                                       self.visit(node.right)])
+
+    def _visit_call(self, node: ast.Call) -> str:
+        name = FUNCTION_ALIASES.get(node.name, node.name)
+        if name not in self.registry:
+            raise LoweringError(
+                f"unknown filter {node.name!r}; available: "
+                f"{self.registry.names()}")
+        primitive = self.registry.get(name)
+        if len(node.args) != primitive.arity:
+            raise LoweringError(
+                f"{node.name} takes {primitive.arity} arguments, "
+                f"got {len(node.args)}")
+        return self.spec.add_filter(
+            name, [self.visit(a) for a in node.args])
+
+    def _visit_index(self, node: ast.Index) -> str:
+        return self.spec.add_filter(
+            "decompose", [self.visit(node.base)],
+            params={"component": node.component})
+
+    def _visit_ifexpr(self, node: ast.IfExpr) -> str:
+        return self.spec.add_filter(
+            "select", [self.visit(node.cond), self.visit(node.then),
+                       self.visit(node.otherwise)])
+
+
+def lower(program: ast.Program,
+          registry: Optional[PrimitiveRegistry] = None,
+          known_fields: Optional[Mapping[str, ResultKind]] = None,
+          ) -> tuple[NetworkSpec, dict[str, ResultKind]]:
+    """Lower ``program`` to a network spec.
+
+    Returns ``(spec, source_kinds)`` where ``source_kinds`` records any
+    non-scalar input fields discovered from ``known_fields``.
+    """
+    lowerer = _Lowerer(registry if registry is not None else DEFAULT_REGISTRY,
+                       known_fields)
+    spec = lowerer.run(program)
+    return spec, lowerer.source_kinds

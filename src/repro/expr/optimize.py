@@ -1,0 +1,57 @@
+"""Network-level optimizations applied after lowering.
+
+The paper: *"common constants are reduced to single instances of source
+filters. We also use a limited common sub-expression elimination strategy to
+avoid computing unnecessary intermediate results."*
+
+Constant pooling happens during construction
+(:meth:`~repro.dataflow.spec.NetworkSpec.add_const`).  This module provides
+the CSE pass.  Matching the paper's "limited" strategy, the default is
+purely syntactic: ``0.5*(du[1]+dv[0])`` and ``0.5*(dv[0]+du[1])`` are
+*different* (operand order differs), which is what makes Q-criterion lower
+to exactly 57 roundtrip kernels (Table II).  ``commutative=True`` enables
+the stronger, operand-order-normalizing variant as an extension (ablated in
+``benchmarks/bench_ablation_cse.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dataflow.spec import CONST, SOURCE, NetworkSpec
+from ..primitives.base import PrimitiveRegistry
+from ..primitives.registry import DEFAULT_REGISTRY
+
+__all__ = ["eliminate_common_subexpressions"]
+
+
+def eliminate_common_subexpressions(
+        spec: NetworkSpec, *,
+        commutative: bool = False,
+        registry: Optional[PrimitiveRegistry] = None) -> NetworkSpec:
+    """Merge structurally identical filter invocations.
+
+    Nodes are scanned in construction order (guaranteed topological);
+    a node whose (filter, remapped-inputs, params) signature was already
+    seen is replaced by the first occurrence everywhere downstream.
+    """
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    replacement: dict[str, str] = {}
+    seen: dict[tuple, str] = {}
+    keep: list[str] = []
+    for node in spec.nodes:
+        if node.filter in (SOURCE, CONST):
+            keep.append(node.id)
+            continue
+        inputs = tuple(replacement.get(i, i) for i in node.inputs)
+        if (commutative and node.filter in registry
+                and registry.get(node.filter).commutative):
+            inputs = tuple(sorted(inputs))
+        key = (node.filter, inputs, node.params)
+        survivor = seen.get(key)
+        if survivor is None:
+            seen[key] = node.id
+            keep.append(node.id)
+        else:
+            replacement[node.id] = survivor
+    return spec.rewrite(keep, replacement)

@@ -1,0 +1,9 @@
+"""Host interface (Section III-D): the in-situ :func:`derive` entry point,
+the caching :class:`DerivedFieldEngine`, and the VisIt-like host simulator
+(:mod:`repro.host.visitsim`)."""
+
+from .engine import CompiledExpression, DerivedFieldEngine
+from .interface import derive, derive_report
+
+__all__ = ["CompiledExpression", "DerivedFieldEngine", "derive",
+           "derive_report"]

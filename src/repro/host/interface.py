@@ -1,0 +1,52 @@
+"""The in-situ host interface (Section III-D).
+
+*"The host application provides both the user's expression and NumPy
+objects for the input data arrays. Our framework processes the expression,
+executes the operations, and returns the resulting data array with the
+field representing the user's expression."*
+
+:func:`derive` is that one-call surface.  Hosts wanting expression caching
+across time steps or instrumented reports should hold a
+:class:`~repro.host.engine.DerivedFieldEngine` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+import numpy as np
+
+from ..clsim.device import DeviceSpec, DeviceType
+from ..strategies import ExecutionReport, ExecutionStrategy
+from .engine import DerivedFieldEngine
+
+__all__ = ["derive", "derive_report"]
+
+
+def derive(expression: str, fields: Mapping[str, np.ndarray], *,
+           strategy: Union[str, ExecutionStrategy] = "fusion",
+           device: Union[str, DeviceType, DeviceSpec] = "cpu",
+           ) -> dict[str, np.ndarray]:
+    """Compute a derived field from an expression and host arrays.
+
+    Returns ``{result_name: array}`` so call sites read naturally:
+
+    >>> import numpy as np
+    >>> out = derive("v2 = u * u", {"u": np.arange(4.0)})
+    >>> out["v2"]
+    array([0., 1., 4., 9.])
+    """
+    engine = DerivedFieldEngine(device=device, strategy=strategy)
+    compiled = engine.compile(expression)
+    return {compiled.result_name: engine.derive(compiled, fields)}
+
+
+def derive_report(expression: str, fields: Mapping[str, np.ndarray], *,
+                  strategy: Union[str, ExecutionStrategy] = "fusion",
+                  device: Union[str, DeviceType, DeviceSpec] = "cpu",
+                  ) -> ExecutionReport:
+    """Like :func:`derive` but returns the full instrumented report
+    (output, event counts, timing breakdown, memory high-water mark,
+    generated OpenCL sources)."""
+    engine = DerivedFieldEngine(device=device, strategy=strategy)
+    return engine.execute(expression, fields)

@@ -1,0 +1,21 @@
+"""Miniature VisIt-like host application (the paper's in-situ harness):
+contracts, rectilinear datasets, ghost-zone generation, a pipeline with
+per-time-step caching, the Python Expression filter embedding the
+framework, and a pseudocolor render sink."""
+
+from .contracts import Contract
+from .dataset import RectilinearDataset
+from .ghost import BlockExtent, decompose, extract_block
+from .pipeline import GlobalArrayReader, Pipeline, PipelineStage, Reader
+from .operators import (FieldStatistics, SliceFilter, StatisticsFilter,
+                        ThresholdFilter)
+from .pyexpr import PythonExpressionFilter
+from .render import colormap, pseudocolor, save_ppm
+
+__all__ = [
+    "Contract", "RectilinearDataset", "BlockExtent", "decompose",
+    "extract_block", "GlobalArrayReader", "Pipeline", "PipelineStage",
+    "Reader", "PythonExpressionFilter", "colormap", "pseudocolor",
+    "save_ppm", "ThresholdFilter", "SliceFilter", "StatisticsFilter",
+    "FieldStatistics",
+]

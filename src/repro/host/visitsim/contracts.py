@@ -1,0 +1,30 @@
+"""Contract system of the miniature VisIt host.
+
+VisIt's contract-based design (Childs et al. 2005) lets downstream pipeline
+stages declare what they need from upstream before execution — the
+mechanism our framework uses to *"explicitly request ghost data
+generation"*.  A :class:`Contract` accumulates bottom-up through the
+pipeline; the reader honours the merged result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Contract"]
+
+
+@dataclass(frozen=True)
+class Contract:
+    """Upstream requirements declared by a pipeline stage."""
+
+    fields: frozenset[str] = frozenset()
+    ghost_zones: bool = False
+    ghost_width: int = 0
+
+    def merge(self, other: "Contract") -> "Contract":
+        return Contract(
+            fields=self.fields | other.fields,
+            ghost_zones=self.ghost_zones or other.ghost_zones,
+            ghost_width=max(self.ghost_width, other.ghost_width),
+        )

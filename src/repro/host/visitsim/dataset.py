@@ -1,0 +1,108 @@
+"""Rectilinear dataset objects for the miniature VisIt-like host.
+
+A :class:`RectilinearDataset` is the unit the pipeline passes between
+stages: point coordinates, cell-centered fields, and ghost-zone metadata.
+Ghost cells are extra layers duplicated from neighbouring blocks so
+stencil operations (the gradient) are correct at block seams; per-face
+ghost widths are zero at physical domain boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+from ...errors import HostInterfaceError
+
+__all__ = ["RectilinearDataset"]
+
+
+@dataclass
+class RectilinearDataset:
+    """One rectilinear block with cell-centered fields."""
+
+    x: np.ndarray
+    y: np.ndarray
+    z: np.ndarray
+    cell_fields: dict[str, np.ndarray] = field(default_factory=dict)
+    # ghost layers per axis at the (low, high) face
+    ghost_lo: tuple[int, int, int] = (0, 0, 0)
+    ghost_hi: tuple[int, int, int] = (0, 0, 0)
+
+    @property
+    def dims(self) -> tuple[int, int, int]:
+        """Cell dimensions (including any ghost layers)."""
+        return (len(self.x) - 1, len(self.y) - 1, len(self.z) - 1)
+
+    @property
+    def n_cells(self) -> int:
+        ni, nj, nk = self.dims
+        return ni * nj * nk
+
+    @property
+    def has_ghost(self) -> bool:
+        return any(self.ghost_lo) or any(self.ghost_hi)
+
+    def mesh_arrays(self) -> dict[str, np.ndarray]:
+        """Host-binding mesh arrays (dims, x, y, z)."""
+        return {
+            "dims": np.asarray(self.dims, dtype=np.int32),
+            "x": np.asarray(self.x), "y": np.asarray(self.y),
+            "z": np.asarray(self.z),
+        }
+
+    def field3d(self, name: str) -> np.ndarray:
+        """A field reshaped to (ni, nj, nk), as a view when possible."""
+        return self.field(name).reshape(self.dims)
+
+    def field(self, name: str) -> np.ndarray:
+        try:
+            return self.cell_fields[name]
+        except KeyError:
+            raise HostInterfaceError(
+                f"dataset has no cell field {name!r}; "
+                f"fields: {sorted(self.cell_fields)}") from None
+
+    def add_field(self, name: str, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        if values.size != self.n_cells:
+            raise HostInterfaceError(
+                f"field {name!r} has {values.size} values for "
+                f"{self.n_cells} cells")
+        self.cell_fields[name] = values.reshape(-1)
+
+    def strip_ghost(self) -> "RectilinearDataset":
+        """Drop ghost layers, returning the interior block."""
+        if not self.has_ghost:
+            return self
+        (gl0, gl1, gl2), (gh0, gh1, gh2) = self.ghost_lo, self.ghost_hi
+        ni, nj, nk = self.dims
+
+        def span(g_lo, g_hi, n):
+            return slice(g_lo, n - g_hi if g_hi else None)
+
+        si, sj, sk = (span(gl0, gh0, ni), span(gl1, gh1, nj),
+                      span(gl2, gh2, nk))
+        # point coordinate slices are one longer on the high side
+        def pspan(g_lo, g_hi, n_pts):
+            return slice(g_lo, n_pts - g_hi if g_hi else None)
+
+        out = RectilinearDataset(
+            x=self.x[pspan(gl0, gh0, len(self.x))],
+            y=self.y[pspan(gl1, gh1, len(self.y))],
+            z=self.z[pspan(gl2, gh2, len(self.z))],
+        )
+        for name, values in self.cell_fields.items():
+            out.cell_fields[name] = np.ascontiguousarray(
+                values.reshape(ni, nj, nk)[si, sj, sk]).reshape(-1)
+        return out
+
+    def with_fields(self, fields: Mapping[str, np.ndarray]
+                    ) -> "RectilinearDataset":
+        """Copy with additional cell fields."""
+        merged = dict(self.cell_fields)
+        merged.update({k: np.asarray(v).reshape(-1)
+                       for k, v in fields.items()})
+        return replace(self, cell_fields=merged)

@@ -1,0 +1,137 @@
+"""Additional pipeline operators for the miniature VisIt host.
+
+The paper embeds the derived-field framework "into a larger analysis
+pipeline"; these stages make the larger pipeline real.  Each follows the
+same contract/execute protocol as
+:class:`~repro.host.visitsim.pyexpr.PythonExpressionFilter`, so they
+compose freely around it:
+
+* :class:`ThresholdFilter` — mask a field outside a value range (VisIt's
+  Threshold operator; pairs with Q > 0 vortex extraction);
+* :class:`SliceFilter` — extract one axis-aligned cell slab, shrinking
+  everything downstream;
+* :class:`StatisticsFilter` — attach summary statistics as a side channel
+  (VisIt's Query mechanism, in miniature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ...errors import HostInterfaceError
+from .contracts import Contract
+from .dataset import RectilinearDataset
+
+__all__ = ["ThresholdFilter", "SliceFilter", "StatisticsFilter",
+           "FieldStatistics"]
+
+
+class ThresholdFilter:
+    """Replace out-of-range values of one cell field.
+
+    Cells with ``field`` outside ``[lower, upper]`` have every listed
+    output field set to ``fill`` (NaN by default, which renders as the
+    colormap floor) — the masking form of VisIt's Threshold, which keeps
+    the rectilinear mesh intact.
+    """
+
+    def __init__(self, field_name: str, *, lower: float = -np.inf,
+                 upper: float = np.inf, fill: float = np.nan,
+                 apply_to: Optional[tuple[str, ...]] = None):
+        if lower > upper:
+            raise HostInterfaceError(
+                f"threshold range is empty: [{lower}, {upper}]")
+        self.field_name = field_name
+        self.lower = lower
+        self.upper = upper
+        self.fill = fill
+        self.apply_to = apply_to
+
+    def contract(self) -> Contract:
+        return Contract(fields=frozenset({self.field_name}))
+
+    def execute(self, dataset: RectilinearDataset) -> RectilinearDataset:
+        values = dataset.field(self.field_name)
+        keep = (values >= self.lower) & (values <= self.upper)
+        targets = self.apply_to or (self.field_name,)
+        updates = {}
+        for name in targets:
+            masked = dataset.field(name).astype(np.float64, copy=True)
+            masked[~keep] = self.fill
+            updates[name] = masked
+        return dataset.with_fields(updates)
+
+
+class SliceFilter:
+    """Restrict the dataset to one slab of cells along an axis."""
+
+    def __init__(self, axis: int, index: int, width: int = 1):
+        if not 0 <= axis <= 2:
+            raise HostInterfaceError(f"axis must be 0..2, got {axis}")
+        if width < 1:
+            raise HostInterfaceError("slab width must be >= 1")
+        self.axis = axis
+        self.index = index
+        self.width = width
+
+    def contract(self) -> Contract:
+        return Contract()
+
+    def execute(self, dataset: RectilinearDataset) -> RectilinearDataset:
+        n = dataset.dims[self.axis]
+        if not 0 <= self.index < n:
+            raise HostInterfaceError(
+                f"slice index {self.index} out of range for axis "
+                f"{self.axis} (size {n})")
+        stop = min(self.index + self.width, n)
+        cell_slice = [slice(None)] * 3
+        cell_slice[self.axis] = slice(self.index, stop)
+        coords = [dataset.x, dataset.y, dataset.z]
+        coords[self.axis] = coords[self.axis][self.index:stop + 1]
+        out = RectilinearDataset(x=coords[0], y=coords[1], z=coords[2])
+        for name in dataset.cell_fields:
+            out.cell_fields[name] = np.ascontiguousarray(
+                dataset.field3d(name)[tuple(cell_slice)]).reshape(-1)
+        return out
+
+
+@dataclass(frozen=True)
+class FieldStatistics:
+    """Summary of one field over one execution."""
+
+    name: str
+    minimum: float
+    maximum: float
+    mean: float
+    positive_fraction: float
+
+
+class StatisticsFilter:
+    """Pass-through stage recording per-field statistics (VisIt Query)."""
+
+    def __init__(self, *field_names: str):
+        self.field_names = field_names
+        self.history: list[dict[str, FieldStatistics]] = []
+
+    def contract(self) -> Contract:
+        return Contract(fields=frozenset(self.field_names))
+
+    def execute(self, dataset: RectilinearDataset) -> RectilinearDataset:
+        snapshot = {}
+        for name in self.field_names or dataset.cell_fields:
+            values = dataset.field(name)
+            finite = values[np.isfinite(values)]
+            if finite.size == 0:
+                raise HostInterfaceError(
+                    f"field {name!r} has no finite values to summarize")
+            snapshot[name] = FieldStatistics(
+                name=name,
+                minimum=float(finite.min()),
+                maximum=float(finite.max()),
+                mean=float(finite.mean()),
+                positive_fraction=float((finite > 0).mean()))
+        self.history.append(snapshot)
+        return dataset

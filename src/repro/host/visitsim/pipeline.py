@@ -1,0 +1,125 @@
+"""The miniature VisIt pipeline.
+
+Models the host-application behaviour the paper relies on: a reader at the
+top, filters in the middle, a render sink at the bottom; contracts flow
+bottom-up before execution; and *"once the pipeline is constructed and our
+framework computes the user's expression, each subsequent rendering step
+reuses the resulting mesh. The pipeline is executed only once per time
+step ... and it is executed again if the data set changes, such as when a
+different time step is loaded."*
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, Sequence
+
+from ...errors import HostInterfaceError
+from .contracts import Contract
+from .dataset import RectilinearDataset
+from .ghost import BlockExtent, extract_block
+
+__all__ = ["Reader", "GlobalArrayReader", "Pipeline", "PipelineStage"]
+
+
+class PipelineStage(Protocol):
+    """Anything with a contract() and an execute(dataset)."""
+
+    def contract(self) -> Contract: ...
+
+    def execute(self, dataset: RectilinearDataset) -> RectilinearDataset: ...
+
+
+class Reader:
+    """Base reader: produces the dataset for a time step, honouring the
+    merged downstream contract (fields + ghost zones)."""
+
+    def read(self, timestep: int,
+             contract: Contract) -> RectilinearDataset:  # pragma: no cover
+        raise NotImplementedError
+
+
+class GlobalArrayReader(Reader):
+    """Reads one block of a global in-memory dataset per time step.
+
+    ``loader(timestep)`` supplies the global dataset (cached per step);
+    ``extent=None`` reads the whole domain.  Ghost generation happens here
+    when the contract requests it — the reader plays VisIt's role of
+    duplicating the stencil around the block.
+    """
+
+    def __init__(self, loader: Callable[[int], RectilinearDataset],
+                 extent: Optional[BlockExtent] = None):
+        self.loader = loader
+        self.extent = extent
+        self._cache: dict[int, RectilinearDataset] = {}
+
+    def read(self, timestep: int, contract: Contract) -> RectilinearDataset:
+        global_ds = self._cache.get(timestep)
+        if global_ds is None:
+            global_ds = self.loader(timestep)
+            self._cache[timestep] = global_ds
+        missing = contract.fields - set(global_ds.cell_fields)
+        if missing:
+            raise HostInterfaceError(
+                f"reader cannot supply fields {sorted(missing)}")
+        if self.extent is None:
+            return global_ds
+        width = contract.ghost_width if contract.ghost_zones else 0
+        return extract_block(global_ds, self.extent, ghost_width=width)
+
+
+class Pipeline:
+    """reader -> stages -> (optional render sink)."""
+
+    def __init__(self, reader: Reader, stages: Sequence[PipelineStage]):
+        self.reader = reader
+        self.stages = list(stages)
+        self._result_cache: dict[int, RectilinearDataset] = {}
+        self.executions = 0
+
+    def contract(self) -> Contract:
+        """Negotiate the upstream contract bottom-up.
+
+        Fields *produced* by a stage (its ``provides()``) satisfy the
+        requests of everything downstream of it, so only truly-external
+        fields reach the reader — VisIt's contract resolution."""
+        wanted: frozenset[str] = frozenset()
+        ghost_zones = False
+        ghost_width = 0
+        for stage in reversed(self.stages):
+            provides = getattr(stage, "provides", None)
+            if provides is not None:
+                wanted = wanted - frozenset(provides())
+            request = stage.contract()
+            wanted = wanted | request.fields
+            ghost_zones = ghost_zones or request.ghost_zones
+            ghost_width = max(ghost_width, request.ghost_width)
+        return Contract(fields=wanted, ghost_zones=ghost_zones,
+                        ghost_width=ghost_width)
+
+    def execute(self, timestep: int = 0) -> RectilinearDataset:
+        """Run the pipeline for a time step; cached until the step changes."""
+        cached = self._result_cache.get(timestep)
+        if cached is not None:
+            return cached
+        dataset = self.reader.read(timestep, self.contract())
+        for stage in self.stages:
+            dataset = stage.execute(dataset)
+        self.executions += 1
+        self._result_cache[timestep] = dataset
+        return dataset
+
+    def render(self, timestep: int = 0, *, field: str,
+               axis: int = 2, index: Optional[int] = None):
+        """Pseudocolor render; re-rendering reuses the executed mesh."""
+        from .render import pseudocolor
+
+        dataset = self.execute(timestep).strip_ghost()
+        return pseudocolor(dataset, field, axis=axis, index=index)
+
+    def invalidate(self, timestep: Optional[int] = None) -> None:
+        """Drop cached results (the data set changed)."""
+        if timestep is None:
+            self._result_cache.clear()
+        else:
+            self._result_cache.pop(timestep, None)

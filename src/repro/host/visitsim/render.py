@@ -1,0 +1,87 @@
+"""Pseudocolor rendering of a dataset slice (the Fig 7 visualization).
+
+A real VisIt render is out of scope; what matters to the evaluation is
+that a derived field round-trips back into the host and can be consumed by
+subsequent rendering steps without recomputation.  We emit an RGB image of
+an axis-aligned slice through a perceptually-ordered ramp.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...errors import HostInterfaceError
+from .dataset import RectilinearDataset
+
+__all__ = ["pseudocolor", "colormap", "save_ppm"]
+
+# A compact viridis-like ramp (anchor RGB points, interpolated linearly).
+_ANCHORS = np.array([
+    [0.267, 0.005, 0.329],
+    [0.283, 0.141, 0.458],
+    [0.254, 0.265, 0.530],
+    [0.207, 0.372, 0.553],
+    [0.164, 0.471, 0.558],
+    [0.128, 0.567, 0.551],
+    [0.135, 0.659, 0.518],
+    [0.267, 0.749, 0.441],
+    [0.478, 0.821, 0.318],
+    [0.741, 0.873, 0.150],
+    [0.993, 0.906, 0.144],
+])
+
+
+def colormap(values: np.ndarray) -> np.ndarray:
+    """Map values in [0, 1] to (n, 3) uint8 RGB.
+
+    NaNs (thresholded-away cells) map to the colormap floor, the way
+    masked cells render in VisIt."""
+    values = np.asarray(values, dtype=np.float64)
+    values = np.where(np.isnan(values), 0.0, values)
+    values = np.clip(values, 0.0, 1.0)
+    positions = values * (len(_ANCHORS) - 1)
+    low = np.floor(positions).astype(int)
+    high = np.minimum(low + 1, len(_ANCHORS) - 1)
+    t = (positions - low)[..., None]
+    rgb = _ANCHORS[low] * (1.0 - t) + _ANCHORS[high] * t
+    return (rgb * 255.0 + 0.5).astype(np.uint8)
+
+
+def save_ppm(image: np.ndarray, path) -> None:
+    """Write an (h, w, 3) uint8 image as binary PPM (P6) — viewable by any
+    image tool, no imaging library required."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3 or image.dtype != np.uint8:
+        raise HostInterfaceError(
+            f"expected (h, w, 3) uint8 image, got {image.shape} "
+            f"{image.dtype}")
+    height, width, _ = image.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(image.tobytes())
+
+
+def pseudocolor(dataset: RectilinearDataset, field: str, *, axis: int = 2,
+                index: Optional[int] = None,
+                vmin: Optional[float] = None,
+                vmax: Optional[float] = None) -> np.ndarray:
+    """Render one slice of a cell field as an RGB uint8 image."""
+    if not 0 <= axis <= 2:
+        raise HostInterfaceError(f"axis must be 0..2, got {axis}")
+    volume = dataset.field3d(field)
+    if index is None:
+        index = volume.shape[axis] // 2
+    if not 0 <= index < volume.shape[axis]:
+        raise HostInterfaceError(
+            f"slice index {index} out of range for axis {axis} "
+            f"(size {volume.shape[axis]})")
+    plane = np.take(volume, index, axis=axis)
+    finite = plane[np.isfinite(plane)]
+    if finite.size == 0:
+        return colormap(np.zeros_like(plane))
+    lo = float(finite.min()) if vmin is None else vmin
+    hi = float(finite.max()) if vmax is None else vmax
+    span = hi - lo if hi > lo else 1.0
+    return colormap((plane - lo) / span)

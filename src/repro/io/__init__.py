@@ -1,0 +1,13 @@
+"""Disk I/O substrate: the block-file format and time-series containers
+the VisIt-like host reads its steps from."""
+
+from .blockfile import (BlockFileError, MAGIC, VERSION, read_blockfile,
+                        read_header, write_blockfile)
+from .decomposed import DecomposedReader, write_decomposed
+from .timeseries import (TimeSeriesReader, TimeSeriesWriter,
+                         arrays_to_dataset, dataset_to_arrays)
+
+__all__ = ["BlockFileError", "MAGIC", "VERSION", "read_blockfile",
+           "read_header", "write_blockfile", "TimeSeriesReader",
+           "TimeSeriesWriter", "arrays_to_dataset", "dataset_to_arrays",
+           "DecomposedReader", "write_decomposed"]

@@ -1,0 +1,140 @@
+"""A simple binary block-file format for mesh data ("brick of values").
+
+The paper's host application (VisIt) reads each time step's sub-grid
+bricks from disk.  This module provides that substrate: a self-describing
+single-file container for named arrays plus JSON metadata, with an
+optional memory-mapped read path so a 2.6 GB field can be consumed without
+a copy — the data-movement discipline the paper is about, applied to I/O.
+
+Layout::
+
+    magic   b"DFGB"
+    version u32 little-endian
+    hlen    u64 little-endian, JSON header byte length
+    header  UTF-8 JSON: {"metadata": {...},
+                         "arrays": [{name, dtype, shape, offset, nbytes}]}
+    payload raw C-order array bytes at the stated offsets
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import struct
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["BlockFileError", "write_blockfile", "read_blockfile",
+           "read_header", "MAGIC", "VERSION"]
+
+MAGIC = b"DFGB"
+VERSION = 1
+_PREFIX = struct.Struct("<4sIQ")
+
+
+class BlockFileError(ReproError):
+    """Malformed or mismatched block file."""
+
+
+def write_blockfile(path, arrays: Mapping[str, np.ndarray],
+                    metadata: Optional[Mapping] = None) -> int:
+    """Write named arrays (+ JSON-serializable metadata); returns bytes
+    written."""
+    if not arrays:
+        raise BlockFileError("refusing to write a block file with no arrays")
+    entries = []
+    offset = 0
+    normalized: list[np.ndarray] = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        normalized.append(array)
+        entries.append({
+            "name": str(name),
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": offset,
+            "nbytes": array.nbytes,
+        })
+        offset += array.nbytes
+    header = json.dumps({"metadata": dict(metadata or {}),
+                         "arrays": entries}).encode("utf-8")
+    path = pathlib.Path(path)
+    with open(path, "wb") as handle:
+        handle.write(_PREFIX.pack(MAGIC, VERSION, len(header)))
+        handle.write(header)
+        for array in normalized:
+            handle.write(array.tobytes())
+    return _PREFIX.size + len(header) + offset
+
+
+def read_header(path) -> dict:
+    """Read just the JSON header (cheap for huge files)."""
+    with open(path, "rb") as handle:
+        prefix = handle.read(_PREFIX.size)
+        if len(prefix) != _PREFIX.size:
+            raise BlockFileError(f"{path}: truncated prefix")
+        magic, version, hlen = _PREFIX.unpack(prefix)
+        if magic != MAGIC:
+            raise BlockFileError(f"{path}: bad magic {magic!r}")
+        if version != VERSION:
+            raise BlockFileError(
+                f"{path}: unsupported version {version} (expected "
+                f"{VERSION})")
+        header = handle.read(hlen)
+        if len(header) != hlen:
+            raise BlockFileError(f"{path}: truncated header")
+    try:
+        parsed = json.loads(header)
+    except json.JSONDecodeError as exc:
+        raise BlockFileError(f"{path}: corrupt header: {exc}") from exc
+    if "arrays" not in parsed:
+        raise BlockFileError(f"{path}: header missing 'arrays'")
+    return parsed
+
+
+def read_blockfile(path, fields: Optional[Sequence[str]] = None, *,
+                   mmap: bool = False) -> tuple[dict[str, np.ndarray],
+                                                dict]:
+    """Read arrays (all, or just ``fields``) and metadata.
+
+    ``mmap=True`` returns read-only views backed by the file — no copy,
+    the in-situ-friendly path for multi-gigabyte bricks.
+    """
+    header = read_header(path)
+    by_name = {e["name"]: e for e in header["arrays"]}
+    wanted = list(fields) if fields is not None else list(by_name)
+    missing = [name for name in wanted if name not in by_name]
+    if missing:
+        raise BlockFileError(
+            f"{path}: missing arrays {missing}; has {sorted(by_name)}")
+
+    with open(path, "rb") as handle:
+        _, _, hlen = _PREFIX.unpack(handle.read(_PREFIX.size))
+        handle.seek(0, 2)
+        file_size = handle.tell()
+    payload_start = _PREFIX.size + hlen
+
+    arrays: dict[str, np.ndarray] = {}
+    for name in wanted:
+        entry = by_name[name]
+        start = payload_start + entry["offset"]
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        if start + entry["nbytes"] > file_size:
+            raise BlockFileError(
+                f"{path}: array {name!r} extends past end of file")
+        if mmap:
+            view = np.memmap(path, dtype=dtype, mode="r", offset=start,
+                             shape=shape)
+            arrays[name] = view
+        else:
+            with open(path, "rb") as handle:
+                handle.seek(start)
+                data = handle.read(entry["nbytes"])
+            if len(data) != entry["nbytes"]:
+                raise BlockFileError(f"{path}: array {name!r} truncated")
+            arrays[name] = np.frombuffer(data, dtype=dtype).reshape(shape)
+    return arrays, header.get("metadata", {})

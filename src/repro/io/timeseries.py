@@ -1,0 +1,119 @@
+"""Time-series storage: a directory of block files plus an index.
+
+Mirrors how the paper's host loads "a different time step": each step is
+one block file; ``index.json`` records the ordering and shared metadata.
+:meth:`TimeSeriesReader.dataset_loader` plugs directly into
+:class:`~repro.host.visitsim.pipeline.GlobalArrayReader`, closing the loop
+from simulation dump to in-situ derived-field visualization.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..host.visitsim.dataset import RectilinearDataset
+from .blockfile import BlockFileError, read_blockfile, write_blockfile
+
+__all__ = ["TimeSeriesWriter", "TimeSeriesReader", "dataset_to_arrays",
+           "arrays_to_dataset"]
+
+_INDEX = "index.json"
+
+# Reserved array names for mesh coordinates in a dataset dump.
+_MESH_KEYS = ("__x__", "__y__", "__z__")
+
+
+def dataset_to_arrays(dataset: RectilinearDataset) -> dict[str, np.ndarray]:
+    """Flatten a dataset (coords + cell fields) into named arrays."""
+    out = {
+        "__x__": np.asarray(dataset.x),
+        "__y__": np.asarray(dataset.y),
+        "__z__": np.asarray(dataset.z),
+    }
+    for name, values in dataset.cell_fields.items():
+        out[name] = values
+    return out
+
+
+def arrays_to_dataset(arrays: Mapping[str, np.ndarray]
+                      ) -> RectilinearDataset:
+    """Inverse of :func:`dataset_to_arrays`."""
+    missing = [k for k in _MESH_KEYS if k not in arrays]
+    if missing:
+        raise BlockFileError(f"not a dataset dump: missing {missing}")
+    dataset = RectilinearDataset(
+        x=np.asarray(arrays["__x__"]),
+        y=np.asarray(arrays["__y__"]),
+        z=np.asarray(arrays["__z__"]))
+    for name, values in arrays.items():
+        if name not in _MESH_KEYS:
+            dataset.add_field(name, np.asarray(values))
+    return dataset
+
+
+class TimeSeriesWriter:
+    """Appends time steps to a directory."""
+
+    def __init__(self, directory, metadata: Optional[Mapping] = None):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.metadata = dict(metadata or {})
+        self.steps: list[dict] = []
+
+    def append(self, dataset: RectilinearDataset, *,
+               time: Optional[float] = None) -> pathlib.Path:
+        """Write one time step; returns its file path."""
+        index = len(self.steps)
+        filename = f"step_{index:05d}.dfgb"
+        path = self.directory / filename
+        write_blockfile(path, dataset_to_arrays(dataset),
+                        metadata={"step": index, "time": time,
+                                  "dims": list(dataset.dims)})
+        self.steps.append({"file": filename, "step": index,
+                           "time": time})
+        self._flush_index()
+        return path
+
+    def _flush_index(self) -> None:
+        (self.directory / _INDEX).write_text(json.dumps({
+            "metadata": self.metadata,
+            "steps": self.steps,
+        }, indent=2))
+
+
+class TimeSeriesReader:
+    """Reads time steps written by :class:`TimeSeriesWriter`."""
+
+    def __init__(self, directory):
+        self.directory = pathlib.Path(directory)
+        index_path = self.directory / _INDEX
+        if not index_path.exists():
+            raise BlockFileError(f"{self.directory}: no {_INDEX}")
+        index = json.loads(index_path.read_text())
+        self.metadata = index.get("metadata", {})
+        self.steps = index["steps"]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def times(self) -> list[Optional[float]]:
+        return [s.get("time") for s in self.steps]
+
+    def read_step(self, step: int, *, mmap: bool = False
+                  ) -> RectilinearDataset:
+        if not 0 <= step < len(self.steps):
+            raise BlockFileError(
+                f"step {step} out of range 0..{len(self.steps) - 1}")
+        path = self.directory / self.steps[step]["file"]
+        arrays, _meta = read_blockfile(path, mmap=mmap)
+        return arrays_to_dataset(arrays)
+
+    def dataset_loader(self, *, mmap: bool = False):
+        """A ``loader(timestep)`` callable for ``GlobalArrayReader``."""
+        def loader(timestep: int) -> RectilinearDataset:
+            return self.read_step(timestep, mmap=mmap)
+        return loader

@@ -1,0 +1,23 @@
+"""A from-scratch lex/yacc substitute (the paper uses PLY).
+
+Public surface:
+
+* :class:`~repro.lexyacc.lexer.LexerSpec` / :func:`~repro.lexyacc.lexer.build_lexer`
+  — regex-table lexer generator.
+* :class:`~repro.lexyacc.grammar.Grammar` / :class:`~repro.lexyacc.grammar.Production`
+  / :class:`~repro.lexyacc.grammar.Precedence` — grammar definition.
+* :func:`~repro.lexyacc.lr.build_lalr_table` — LALR(1) table construction.
+* :class:`~repro.lexyacc.parser.LRParser` — table-driven shift/reduce parser.
+"""
+
+from .grammar import EOF, EPSILON, Grammar, Precedence, Production
+from .lexer import Lexer, LexerSpec, Token, TokenRule, build_lexer
+from .lr import Conflict, LRItem, ParseTable, build_lalr_table
+from .parser import LRParser
+
+__all__ = [
+    "EOF", "EPSILON", "Grammar", "Precedence", "Production",
+    "Lexer", "LexerSpec", "Token", "TokenRule", "build_lexer",
+    "Conflict", "LRItem", "ParseTable", "build_lalr_table",
+    "LRParser",
+]

@@ -1,0 +1,146 @@
+"""Regex-table lexer generator, modelled on PLY's ``lex`` module.
+
+The paper builds its expression front-end with PLY; PLY is not available
+offline, so this module provides the same capability from scratch.  A lexer
+is described by a :class:`LexerSpec`: an ordered list of token rules (name,
+regex, optional action), a set of keywords promoted from identifiers, and
+characters to ignore.  :func:`build_lexer` compiles the spec into a single
+alternation regex with named groups — the same technique PLY uses — and
+returns a :class:`Lexer` that yields :class:`Token` objects.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Sequence
+
+from ..errors import GrammarError, LexError
+
+__all__ = ["Token", "TokenRule", "LexerSpec", "Lexer", "build_lexer"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme.
+
+    ``type`` is the terminal name used by the grammar, ``value`` the
+    (possibly converted) lexeme, ``pos`` the character offset and ``line``
+    the 1-based line number — both used for error reporting.
+    """
+
+    type: str
+    value: object
+    pos: int = 0
+    line: int = 1
+
+    def __repr__(self) -> str:  # compact, test-friendly
+        return f"Token({self.type}, {self.value!r})"
+
+
+@dataclass(frozen=True)
+class TokenRule:
+    """One lexing rule.
+
+    ``action`` may convert the matched text (e.g. ``float``); returning
+    ``None`` from an action discards the token (comments, whitespace runs).
+    """
+
+    name: str
+    pattern: str
+    action: Optional[Callable[[str], object]] = None
+
+
+@dataclass
+class LexerSpec:
+    """Declarative description of a lexer.
+
+    Rules are tried in order; the first (not longest) match wins, exactly as
+    in PLY's function-rule ordering.  Put longer literals before their
+    prefixes (``<=`` before ``<``).
+    """
+
+    rules: Sequence[TokenRule]
+    keywords: dict[str, str] = field(default_factory=dict)
+    identifier_rule: str = "IDENT"
+    ignore: str = " \t\r"
+
+    def token_names(self) -> set[str]:
+        names = {r.name for r in self.rules}
+        names.update(self.keywords.values())
+        return names
+
+
+class Lexer:
+    """A compiled lexer.  Use :meth:`tokens` to scan a string."""
+
+    def __init__(self, spec: LexerSpec, master: "re.Pattern[str]",
+                 group_to_rule: dict[str, TokenRule]):
+        self._spec = spec
+        self._master = master
+        self._group_to_rule = group_to_rule
+
+    def tokens(self, text: str) -> Iterator[Token]:
+        """Yield tokens for ``text``; raise :class:`LexError` on bad input."""
+        spec = self._spec
+        pos = 0
+        line = 1
+        n = len(text)
+        while pos < n:
+            ch = text[pos]
+            if ch in spec.ignore:
+                pos += 1
+                continue
+            if ch == "\n":
+                line += 1
+                pos += 1
+                continue
+            m = self._master.match(text, pos)
+            if m is None:
+                raise LexError(
+                    f"illegal character {ch!r} at line {line}", pos, line)
+            rule = self._group_to_rule[m.lastgroup]  # type: ignore[index]
+            lexeme = m.group()
+            value: object = lexeme
+            if rule.action is not None:
+                value = rule.action(lexeme)
+            if value is not None:
+                tok_type = rule.name
+                if rule.name == spec.identifier_rule:
+                    tok_type = spec.keywords.get(str(value), rule.name)
+                yield Token(tok_type, value, pos, line)
+            line += lexeme.count("\n")
+            pos = m.end()
+
+    def scan(self, text: str) -> list[Token]:
+        """Eagerly tokenize ``text`` into a list."""
+        return list(self.tokens(text))
+
+
+def build_lexer(spec: LexerSpec) -> Lexer:
+    """Compile ``spec`` into a :class:`Lexer`.
+
+    Raises :class:`GrammarError` for duplicate rule names, invalid regexes,
+    or rules that can match the empty string (which would loop forever).
+    """
+    if not spec.rules:
+        raise GrammarError("lexer spec has no rules")
+    group_to_rule: dict[str, TokenRule] = {}
+    parts: list[str] = []
+    for i, rule in enumerate(spec.rules):
+        if not re.fullmatch(r"[A-Z_][A-Z0-9_]*", rule.name):
+            raise GrammarError(
+                f"token name {rule.name!r} must be UPPER_SNAKE_CASE")
+        group = f"g{i}"
+        try:
+            compiled = re.compile(rule.pattern)
+        except re.error as exc:
+            raise GrammarError(
+                f"bad regex for token {rule.name}: {exc}") from exc
+        if compiled.match(""):
+            raise GrammarError(
+                f"token {rule.name} regex matches the empty string")
+        group_to_rule[group] = rule
+        parts.append(f"(?P<{group}>{rule.pattern})")
+    master = re.compile("|".join(parts))
+    return Lexer(spec, master, group_to_rule)

@@ -1,0 +1,275 @@
+"""LALR(1) parse-table construction.
+
+The paper's front-end uses PLY, which implements Look-Ahead LR(1) parsing.
+This module rebuilds that machinery: the LR(0) canonical collection, LALR(1)
+lookahead computation by spontaneous generation and propagation (the
+dragon-book Algorithm 4.63, the same approach PLY uses), and ACTION/GOTO
+table construction with yacc-style precedence-based conflict resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import GrammarError
+from .grammar import EOF, Grammar, Production
+
+__all__ = ["LRItem", "ParseTable", "Conflict", "build_lalr_table"]
+
+# Dummy lookahead used during spontaneous/propagated lookahead discovery.
+_HASH = "#"
+
+
+@dataclass(frozen=True, order=True)
+class LRItem:
+    """An LR(0) item: production index and dot position."""
+
+    prod: int
+    dot: int
+
+    def next_symbol(self, grammar: Grammar) -> Optional[str]:
+        rhs = grammar.productions[self.prod].rhs
+        return rhs[self.dot] if self.dot < len(rhs) else None
+
+    def advance(self) -> "LRItem":
+        return LRItem(self.prod, self.dot + 1)
+
+    def describe(self, grammar: Grammar) -> str:
+        p = grammar.productions[self.prod]
+        rhs = list(p.rhs)
+        rhs.insert(self.dot, ".")
+        return f"{p.lhs} -> {' '.join(rhs)}"
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A table conflict and how it was resolved."""
+
+    state: int
+    token: str
+    kind: str          # "shift/reduce" or "reduce/reduce"
+    resolution: str    # human-readable description
+
+
+@dataclass
+class ParseTable:
+    """ACTION/GOTO tables plus the grammar they were built from.
+
+    ``action[state][token]`` is ``("shift", state)``, ``("reduce", prod)``,
+    or ``("accept", 0)``.  ``goto[state][nonterminal]`` is a state index.
+    """
+
+    grammar: Grammar
+    action: list[dict[str, tuple[str, int]]]
+    goto: list[dict[str, int]]
+    conflicts: list[Conflict] = field(default_factory=list)
+    resolutions: list[Conflict] = field(default_factory=list)
+    state_items: list[frozenset[LRItem]] = field(default_factory=list)
+
+    @property
+    def n_states(self) -> int:
+        return len(self.action)
+
+    def expected_tokens(self, state: int) -> list[str]:
+        """Terminals with an entry in the given state, for error messages."""
+        return sorted(self.action[state])
+
+    def describe_state(self, state: int) -> str:
+        items = sorted(self.state_items[state])
+        return "\n".join(i.describe(self.grammar) for i in items)
+
+
+def _lr0_closure(grammar: Grammar, items: frozenset[LRItem]) -> frozenset[LRItem]:
+    closure = set(items)
+    stack = list(items)
+    while stack:
+        item = stack.pop()
+        symbol = item.next_symbol(grammar)
+        if symbol is None or grammar.is_terminal(symbol):
+            continue
+        for prod_idx in grammar.productions_for(symbol):
+            new = LRItem(prod_idx, 0)
+            if new not in closure:
+                closure.add(new)
+                stack.append(new)
+    return frozenset(closure)
+
+
+def _lr0_goto(grammar: Grammar, items: frozenset[LRItem],
+              symbol: str) -> frozenset[LRItem]:
+    moved = {i.advance() for i in items if i.next_symbol(grammar) == symbol}
+    return _lr0_closure(grammar, frozenset(moved)) if moved else frozenset()
+
+
+def _kernel(grammar: Grammar, items: frozenset[LRItem]) -> frozenset[LRItem]:
+    return frozenset(i for i in items if i.dot > 0 or i.prod == 0)
+
+
+def _canonical_collection(grammar: Grammar):
+    """BFS over LR(0) item sets.  Returns (states, transitions) where states
+    are closed item sets and transitions maps (state, symbol) -> state."""
+    start = _lr0_closure(grammar, frozenset({LRItem(0, 0)}))
+    states: list[frozenset[LRItem]] = [start]
+    index: dict[frozenset[LRItem], int] = {start: 0}
+    transitions: dict[tuple[int, str], int] = {}
+    work = [0]
+    while work:
+        i = work.pop()
+        symbols = sorted({s for it in states[i]
+                          if (s := it.next_symbol(grammar)) is not None})
+        for symbol in symbols:
+            target = _lr0_goto(grammar, states[i], symbol)
+            if not target:
+                continue
+            j = index.get(target)
+            if j is None:
+                j = len(states)
+                states.append(target)
+                index[target] = j
+                work.append(j)
+            transitions[(i, symbol)] = j
+    return states, transitions
+
+
+def _lr1_closure(grammar: Grammar,
+                 seed: set[tuple[LRItem, str]]) -> set[tuple[LRItem, str]]:
+    """Closure over LR(1) items (item, lookahead)."""
+    closure = set(seed)
+    stack = list(seed)
+    while stack:
+        item, lookahead = stack.pop()
+        symbol = item.next_symbol(grammar)
+        if symbol is None or grammar.is_terminal(symbol):
+            continue
+        beta = grammar.productions[item.prod].rhs[item.dot + 1:]
+        lookaheads = grammar.first_of_sequence(beta, lookahead)
+        for prod_idx in grammar.productions_for(symbol):
+            for la in lookaheads:
+                new = (LRItem(prod_idx, 0), la)
+                if new not in closure:
+                    closure.add(new)
+                    stack.append(new)
+    return closure
+
+
+def _compute_lookaheads(grammar: Grammar, states, transitions):
+    """Spontaneous generation + propagation of LALR(1) lookaheads for kernel
+    items (dragon-book Algorithm 4.63)."""
+    kernels = [_kernel(grammar, s) for s in states]
+    lookaheads: dict[tuple[int, LRItem], set[str]] = {
+        (i, item): set() for i, k in enumerate(kernels) for item in k}
+    lookaheads[(0, LRItem(0, 0))].add(EOF)
+    propagate: dict[tuple[int, LRItem], set[tuple[int, LRItem]]] = {
+        key: set() for key in lookaheads}
+
+    for i, kernel in enumerate(kernels):
+        for kitem in kernel:
+            closure = _lr1_closure(grammar, {(kitem, _HASH)})
+            for item, la in closure:
+                symbol = item.next_symbol(grammar)
+                if symbol is None:
+                    continue
+                j = transitions.get((i, symbol))
+                if j is None:
+                    continue
+                target = (j, item.advance())
+                if la == _HASH:
+                    propagate[(i, kitem)].add(target)
+                else:
+                    lookaheads[target].add(la)
+
+    changed = True
+    while changed:
+        changed = False
+        for source, targets in propagate.items():
+            las = lookaheads[source]
+            if not las:
+                continue
+            for target in targets:
+                before = len(lookaheads[target])
+                lookaheads[target] |= las
+                if len(lookaheads[target]) != before:
+                    changed = True
+    return kernels, lookaheads
+
+
+def _resolve_shift_reduce(grammar: Grammar, token: str, prod: Production):
+    """Return ('shift'|'reduce'|'error', description) per yacc rules."""
+    tok_prec = grammar.precedence_of(token)
+    prod_prec = grammar.production_precedence(prod)
+    if tok_prec is None or prod_prec is None:
+        return "shift", "unresolved: defaulted to shift"
+    if prod_prec[1] > tok_prec[1]:
+        return "reduce", "production has higher precedence"
+    if prod_prec[1] < tok_prec[1]:
+        return "shift", "token has higher precedence"
+    assoc = tok_prec[0]
+    if assoc == "left":
+        return "reduce", "equal precedence, left-associative"
+    if assoc == "right":
+        return "shift", "equal precedence, right-associative"
+    return "error", "equal precedence, nonassociative"
+
+
+def build_lalr_table(grammar: Grammar) -> ParseTable:
+    """Construct the LALR(1) ACTION/GOTO tables for ``grammar``.
+
+    Shift/reduce conflicts are resolved with precedence declarations when
+    available (defaulting to shift, as yacc does); reduce/reduce conflicts
+    pick the earlier production.  All resolutions are recorded on the
+    returned table's ``conflicts`` list so callers can assert a grammar is
+    conflict-free.
+    """
+    states, transitions = _canonical_collection(grammar)
+    kernels, lookaheads = _compute_lookaheads(grammar, states, transitions)
+
+    action: list[dict[str, tuple[str, int]]] = [dict() for _ in states]
+    goto: list[dict[str, int]] = [dict() for _ in states]
+    conflicts: list[Conflict] = []
+    resolutions: list[Conflict] = []
+
+    for (i, symbol), j in transitions.items():
+        if grammar.is_terminal(symbol):
+            action[i][symbol] = ("shift", j)
+        else:
+            goto[i][symbol] = j
+
+    for i, kernel in enumerate(kernels):
+        # LR(1) closure of the kernel with its computed lookaheads gives the
+        # complete items (dot at end) that trigger reductions in state i.
+        seed = {(item, la) for item in kernel
+                for la in lookaheads[(i, item)]}
+        for item, la in _lr1_closure(grammar, seed):
+            if item.next_symbol(grammar) is not None:
+                continue
+            if item.prod == 0:
+                if la == EOF:
+                    action[i][EOF] = ("accept", 0)
+                continue
+            existing = action[i].get(la)
+            if existing is None:
+                action[i][la] = ("reduce", item.prod)
+            elif existing[0] == "shift":
+                choice, why = _resolve_shift_reduce(
+                    grammar, la, grammar.productions[item.prod])
+                if choice == "reduce":
+                    action[i][la] = ("reduce", item.prod)
+                elif choice == "error":
+                    del action[i][la]
+                record = Conflict(i, la, "shift/reduce", f"{choice} ({why})")
+                # Precedence-resolved decisions are intended grammar design
+                # (yacc does not warn about them); only defaulted ones count
+                # as real conflicts.
+                if why.startswith("unresolved"):
+                    conflicts.append(record)
+                else:
+                    resolutions.append(record)
+            elif existing[0] == "reduce" and existing[1] != item.prod:
+                keep = min(existing[1], item.prod)
+                action[i][la] = ("reduce", keep)
+                conflicts.append(Conflict(
+                    i, la, "reduce/reduce",
+                    f"kept earlier production {keep}"))
+
+    return ParseTable(grammar, action, goto, conflicts, resolutions, states)

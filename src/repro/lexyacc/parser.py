@@ -1,0 +1,77 @@
+"""Table-driven shift/reduce parser executing an LALR(1) :class:`ParseTable`.
+
+This is the runtime half of the PLY substitute: it walks the token stream,
+maintains the state and semantic-value stacks, and invokes production
+actions on reduce.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..errors import ParseError
+from .grammar import EOF, Grammar
+from .lexer import Token
+from .lr import ParseTable, build_lalr_table
+
+__all__ = ["LRParser"]
+
+
+class LRParser:
+    """An LALR(1) parser bound to a grammar.
+
+    Build once, reuse for many inputs — table construction is the expensive
+    step, parsing is linear in the token count.
+    """
+
+    def __init__(self, grammar: Grammar, table: Optional[ParseTable] = None):
+        self.grammar = grammar
+        self.table = table if table is not None else build_lalr_table(grammar)
+
+    def parse(self, tokens: Iterable[Token]) -> object:
+        """Parse a token stream and return the start symbol's semantic value.
+
+        Raises :class:`ParseError` with the offending token and the set of
+        expected terminals on a syntax error.
+        """
+        table = self.table
+        productions = self.grammar.productions
+        states: list[int] = [0]
+        values: list[object] = []
+        stream = iter(tokens)
+        token = next(stream, None)
+        while True:
+            lookahead = token.type if token is not None else EOF
+            entry = table.action[states[-1]].get(lookahead)
+            if entry is None:
+                expected = ", ".join(table.expected_tokens(states[-1]))
+                if token is None:
+                    raise ParseError(
+                        f"unexpected end of input; expected one of: {expected}")
+                raise ParseError(
+                    f"syntax error at {token.value!r} (line {token.line}); "
+                    f"expected one of: {expected}", token)
+            op, target = entry
+            if op == "shift":
+                states.append(target)
+                values.append(token.value if token is not None else None)
+                token = next(stream, None)
+            elif op == "reduce":
+                prod = productions[target]
+                n = len(prod.rhs)
+                if n:
+                    args = values[-n:]
+                    del states[-n:]
+                    del values[-n:]
+                else:
+                    args = []
+                result = prod.action(*args) if prod.action else (
+                    args[0] if args else None)
+                goto_state = table.goto[states[-1]].get(prod.lhs)
+                if goto_state is None:  # pragma: no cover - table invariant
+                    raise ParseError(
+                        f"internal: no goto for {prod.lhs} in state {states[-1]}")
+                states.append(goto_state)
+                values.append(result)
+            else:  # accept
+                return values[-1] if values else None

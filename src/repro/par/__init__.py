@@ -1,0 +1,12 @@
+"""Distributed-memory layer: simulated MPI world, block/rank assignment,
+and the distributed execution driver for the Fig 7 experiment."""
+
+from .decomp import RankAssignment, assign_blocks
+from .driver import (DistributedResult, RankStats, plan_distributed,
+                     run_distributed, run_distributed_from_store)
+from .mpi import Comm, World, run_world
+
+__all__ = ["RankAssignment", "assign_blocks", "DistributedResult",
+           "RankStats", "plan_distributed", "run_distributed",
+           "run_distributed_from_store",
+           "Comm", "World", "run_world"]

@@ -1,0 +1,51 @@
+"""Rank/device assignment for the distributed evaluation.
+
+Fig 7's configuration: 128 nodes x 2 GPUs = 256 MPI tasks, each bound to
+one GPU, each processing 12 of the 3072 sub-grids.  :func:`assign_blocks`
+generalizes this: blocks are dealt round-robin so every rank gets an even
+share, and each rank records its node and local device index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MPIError
+from ..host.visitsim.ghost import BlockExtent
+
+__all__ = ["RankAssignment", "assign_blocks"]
+
+
+@dataclass(frozen=True)
+class RankAssignment:
+    """Which blocks a rank owns and which device it binds."""
+
+    rank: int
+    node: int
+    device_index: int  # local device on the node (0 or 1 on Edge)
+    blocks: tuple[BlockExtent, ...]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+
+def assign_blocks(blocks: list[BlockExtent], n_ranks: int,
+                  devices_per_node: int = 2) -> list[RankAssignment]:
+    """Deal blocks round-robin across ranks; bind ranks to node devices."""
+    if n_ranks < 1:
+        raise MPIError("need at least one rank")
+    if devices_per_node < 1:
+        raise MPIError("need at least one device per node")
+    per_rank: list[list[BlockExtent]] = [[] for _ in range(n_ranks)]
+    for i, block in enumerate(blocks):
+        per_rank[i % n_ranks].append(block)
+    return [
+        RankAssignment(
+            rank=rank,
+            node=rank // devices_per_node,
+            device_index=rank % devices_per_node,
+            blocks=tuple(per_rank[rank]),
+        )
+        for rank in range(n_ranks)
+    ]

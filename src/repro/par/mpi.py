@@ -1,0 +1,166 @@
+"""In-process simulated MPI.
+
+The paper's distributed test runs the framework inside VisIt's engine with
+one Python interpreter per MPI task.  mpi4py and a real launcher are not
+available here, so this module provides a small message-passing world whose
+ranks run as threads: point-to-point ``send``/``recv`` over per-edge
+mailboxes, plus the collectives the distributed driver needs (``barrier``,
+``bcast``, ``scatter``, ``gather``, ``allreduce``, ``allgather``).
+
+Semantics follow MPI where it matters for correctness testing: sends are
+buffered (non-blocking), receives block, collectives synchronize all ranks
+and must be called by every rank in the same order.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import MPIError
+
+__all__ = ["Comm", "World", "run_world"]
+
+
+class _CollectiveState:
+    """Shared slots + reusable barrier for collective operations."""
+
+    def __init__(self, size: int):
+        self.barrier = threading.Barrier(size)
+        self.slots: list[Any] = [None] * size
+
+
+class Comm:
+    """One rank's communicator handle."""
+
+    def __init__(self, rank: int, size: int, world: "World"):
+        self.rank = rank
+        self.size = size
+        self._world = world
+
+    # -- point to point -----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send (never blocks)."""
+        self._check_rank(dest)
+        self._world.mailbox(self.rank, dest, tag).put(obj)
+
+    def recv(self, source: int, tag: int = 0,
+             timeout: Optional[float] = 30.0) -> Any:
+        """Blocking receive; times out to surface deadlocks in tests."""
+        self._check_rank(source)
+        try:
+            return self._world.mailbox(source, self.rank, tag).get(
+                timeout=timeout)
+        except queue.Empty:
+            raise MPIError(
+                f"rank {self.rank} timed out receiving from {source} "
+                f"(tag {tag})") from None
+
+    def sendrecv(self, obj: Any, dest: int, source: int,
+                 tag: int = 0) -> Any:
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    # -- collectives -------------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._world.collective.barrier.wait()
+
+    def _exchange(self, value: Any) -> list[Any]:
+        state = self._world.collective
+        state.slots[self.rank] = value
+        state.barrier.wait()
+        snapshot = list(state.slots)
+        state.barrier.wait()
+        return snapshot
+
+    def allgather(self, value: Any) -> list[Any]:
+        return self._exchange(value)
+
+    def gather(self, value: Any, root: int = 0) -> Optional[list[Any]]:
+        snapshot = self._exchange(value)
+        return snapshot if self.rank == root else None
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        return self._exchange(value if self.rank == root else None)[root]
+
+    def scatter(self, values: Optional[Sequence[Any]],
+                root: int = 0) -> Any:
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise MPIError(
+                    f"scatter root needs exactly {self.size} values")
+        chunks = self._exchange(list(values) if self.rank == root else None)
+        return chunks[root][self.rank]
+
+    def allreduce(self, value: Any,
+                  op: Callable[[Any, Any], Any] = lambda a, b: a + b) -> Any:
+        snapshot = self._exchange(value)
+        result = snapshot[0]
+        for item in snapshot[1:]:
+            result = op(result, item)
+        return result
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise MPIError(f"rank {rank} out of range 0..{self.size - 1}")
+
+
+class World:
+    """A set of ranks executing one function concurrently."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise MPIError("world size must be >= 1")
+        self.size = size
+        self._mailboxes: dict[tuple[int, int, int], queue.Queue] = {}
+        self._mail_lock = threading.Lock()
+        self.collective = _CollectiveState(size)
+
+    def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        box = self._mailboxes.get(key)
+        if box is None:
+            with self._mail_lock:
+                box = self._mailboxes.setdefault(key, queue.Queue())
+        return box
+
+    def run(self, fn: Callable[..., Any], *args: Any,
+            timeout: Optional[float] = 120.0) -> list[Any]:
+        """Run ``fn(comm, *args)`` on every rank; returns per-rank results.
+
+        The first rank exception (if any) is re-raised in the caller.
+        """
+        results: list[Any] = [None] * self.size
+        errors: list[Optional[BaseException]] = [None] * self.size
+
+        def target(rank: int) -> None:
+            comm = Comm(rank, self.size, self)
+            try:
+                results[rank] = fn(comm, *args)
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                errors[rank] = exc
+                self.collective.barrier.abort()
+
+        threads = [threading.Thread(target=target, args=(rank,),
+                                    name=f"mpi-rank-{rank}", daemon=True)
+                   for rank in range(self.size)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                raise MPIError(f"{thread.name} did not finish (deadlock?)")
+        for rank, exc in enumerate(errors):
+            if exc is not None:
+                if isinstance(exc, threading.BrokenBarrierError):
+                    continue  # secondary failure caused by another rank
+                raise exc
+        return results
+
+
+def run_world(size: int, fn: Callable[..., Any], *args: Any) -> list[Any]:
+    """Convenience: build a world, run, return per-rank results."""
+    return World(size).run(fn, *args)

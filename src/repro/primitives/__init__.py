@@ -1,0 +1,33 @@
+"""Derived-field primitives — the "common library of building blocks".
+
+Each :class:`~repro.primitives.base.Primitive` is written once (OpenCL
+helper source + vectorized NumPy implementation + cost metadata) and shared
+by every execution strategy, exactly as the paper prescribes.  The built-in
+set covers the paper's subset (add, sub, mult, sqrt, decompose, grad3d)
+plus calculator-style extensions (div, neg, abs, min/max, pow, exp, log,
+comparisons, select, vec3, dot, cross, vmag).
+"""
+
+from .arithmetic import ADD, ARITHMETIC_PRIMITIVES, DIV, MULT, NEG, SUB
+from .base import (CallStyle, Primitive, PrimitiveRegistry, ResultKind,
+                   VECTOR_WIDTH)
+from .gradient import AXIS_HELPER_CL, GRAD3D, cell_centers, grad3d_numpy
+from .mesh_ops import (CURL3D, DIV3D, LAPLACE3D, MESH_PRIMITIVES,
+                       curl3d_numpy, div3d_numpy, laplace3d_numpy)
+from .math_ops import (ABS, EQ, EXP, GE, GT, LE, LOG, LT, MATH_PRIMITIVES,
+                       MAX, MIN, NE, POW, SELECT, SQRT)
+from .registry import DEFAULT_REGISTRY, default_registry
+from .vector import (CROSS, DECOMPOSE, DOT, VEC3, VECTOR_PRIMITIVES, VMAG)
+
+__all__ = [
+    "CallStyle", "Primitive", "PrimitiveRegistry", "ResultKind",
+    "VECTOR_WIDTH",
+    "ADD", "SUB", "MULT", "DIV", "NEG", "ARITHMETIC_PRIMITIVES",
+    "SQRT", "ABS", "EXP", "LOG", "MIN", "MAX", "POW",
+    "LT", "GT", "LE", "GE", "EQ", "NE", "SELECT", "MATH_PRIMITIVES",
+    "DECOMPOSE", "VEC3", "DOT", "CROSS", "VMAG", "VECTOR_PRIMITIVES",
+    "GRAD3D", "grad3d_numpy", "cell_centers", "AXIS_HELPER_CL",
+    "DIV3D", "CURL3D", "LAPLACE3D", "MESH_PRIMITIVES",
+    "div3d_numpy", "curl3d_numpy", "laplace3d_numpy",
+    "DEFAULT_REGISTRY", "default_registry",
+]

@@ -1,0 +1,54 @@
+"""Elementwise arithmetic primitives: +, -, *, /, unary negation.
+
+Each is a one-line OpenCL helper function shared by all execution
+strategies, with a matching vectorized NumPy implementation.  The NumPy
+functions broadcast, so the same primitive serves scalar-scalar,
+scalar-field, and field-field applications (as the paper's constants do).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CallStyle, Primitive, ResultKind
+
+__all__ = ["ADD", "SUB", "MULT", "DIV", "NEG", "ARITHMETIC_PRIMITIVES"]
+
+
+def _binary(name: str, op: str, fn, *, commutative: bool,
+            flops: int = 1) -> Primitive:
+    return Primitive(
+        name=name,
+        arity=2,
+        result_kind=ResultKind.SCALAR,
+        call_style=CallStyle.ELEMENTWISE,
+        flops_per_element=flops,
+        cl_name=f"dfg_{name}",
+        cl_source=(
+            f"inline {{T}} dfg_{name}(const {{T}} a, const {{T}} b)\n"
+            f"{{{{ return a {op} b; }}}}"),
+        cl_call=f"dfg_{name}({{a0}}, {{a1}})",
+        numpy_fn=fn,
+        commutative=commutative,
+    )
+
+
+ADD = _binary("add", "+", lambda a, b: np.add(a, b), commutative=True)
+SUB = _binary("sub", "-", lambda a, b: np.subtract(a, b), commutative=False)
+MULT = _binary("mult", "*", lambda a, b: np.multiply(a, b), commutative=True)
+DIV = _binary("div", "/", lambda a, b: np.divide(a, b), commutative=False,
+              flops=4)
+
+NEG = Primitive(
+    name="neg",
+    arity=1,
+    result_kind=ResultKind.SCALAR,
+    call_style=CallStyle.ELEMENTWISE,
+    flops_per_element=1,
+    cl_name="dfg_neg",
+    cl_source="inline {T} dfg_neg(const {T} a)\n{{ return -a; }}",
+    cl_call="dfg_neg({a0})",
+    numpy_fn=lambda a: np.negative(a),
+)
+
+ARITHMETIC_PRIMITIVES = (ADD, SUB, MULT, DIV, NEG)

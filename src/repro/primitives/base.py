@@ -1,0 +1,140 @@
+"""Primitive metadata — the paper's "common library of building blocks".
+
+Section III-B3: *"we implemented a set of basic primitives that act as
+flexible building blocks ... These building blocks are small OpenCL source
+functions that are written once and shared by all execution strategies.
+Each function contains minimal metadata to describe global memory
+requirements and the return type."*
+
+A :class:`Primitive` carries exactly that: the OpenCL helper source (written
+once, shared by roundtrip/staged/fusion), the return type, per-element cost
+metadata for the performance model, and a vectorized NumPy implementation
+that backs simulated execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import PrimitiveError
+
+__all__ = ["ResultKind", "CallStyle", "Primitive", "PrimitiveRegistry",
+           "VECTOR_WIDTH"]
+
+# Multi-component results use OpenCL vector types (double4/float4), so a
+# 3-component gradient occupies 4 lanes in memory — this padding is visible
+# in the paper's memory study.
+VECTOR_WIDTH = 4
+
+
+class ResultKind(enum.Enum):
+    """Return type of a primitive, per its metadata."""
+
+    SCALAR = "scalar"    # one value per element
+    VECTOR = "vector"    # VECTOR_WIDTH values per element (double4)
+
+
+class CallStyle(enum.Enum):
+    """How the fusion kernel generator inlines a primitive (Section III-C3)."""
+
+    ELEMENTWISE = "elementwise"  # per-element function call (add, sqrt, ...)
+    GLOBAL = "global"            # needs direct global-array access (grad3d)
+    SOURCE = "source"            # pure source-level construct (decompose)
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One derived-field building block.
+
+    ``numpy_fn`` computes the primitive over whole arrays: scalar fields are
+    shape ``(n,)``, vector fields ``(n, VECTOR_WIDTH)``.  ``cl_source`` is
+    the shared OpenCL helper-function definition with ``{T}``/``{T4}``
+    placeholders for the element type, and ``cl_call`` a format string
+    producing the per-element invocation in generated kernels.
+    """
+
+    name: str
+    arity: int
+    result_kind: ResultKind
+    call_style: CallStyle
+    flops_per_element: int
+    cl_name: str
+    cl_source: str
+    cl_call: str
+    numpy_fn: Optional[Callable[..., np.ndarray]] = None
+    commutative: bool = False
+    # Shared helper functions this primitive's source depends on, as
+    # (name, template) pairs.  Primitives sharing a dep (e.g. the mesh
+    # operators all using the axis-derivative helper) get exactly one copy
+    # in a fused kernel, keyed by name.
+    cl_deps: tuple[tuple[str, str], ...] = ()
+
+    def result_components(self) -> int:
+        return VECTOR_WIDTH if self.result_kind is ResultKind.VECTOR else 1
+
+    def result_nbytes(self, n_elements: int, itemsize: int) -> int:
+        return n_elements * itemsize * self.result_components()
+
+    def iter_helpers(self, ctype: str):
+        """Yield (name, instantiated source) for every helper this
+        primitive needs, dependencies first."""
+        vec = f"{ctype}{VECTOR_WIDTH}"
+        for name, template in self.cl_deps:
+            yield name, template.format(T=ctype, T4=vec)
+        yield self.cl_name, self.cl_source.format(T=ctype, T4=vec)
+
+    def render_source(self, ctype: str) -> str:
+        """Instantiate the complete helper source (deps + own) for an
+        element type — the standalone-kernel form."""
+        return "\n".join(source for _, source in self.iter_helpers(ctype))
+
+    def render_call(self, *operands: str, T: str = "double",
+                    **params: object) -> str:
+        """Produce the per-element call expression for generated kernels.
+
+        ``params`` supplies compile-time node parameters referenced by the
+        call template (e.g. decompose's ``component``) — the paper's
+        "source-code level insertion of constants".
+        """
+        if len(operands) != self.arity:
+            raise PrimitiveError(
+                f"{self.name} expects {self.arity} operands, "
+                f"got {len(operands)}")
+        args: dict[str, object] = {f"a{i}": op
+                                   for i, op in enumerate(operands)}
+        args.update(params)
+        return self.cl_call.format(T=T, **args)
+
+
+class PrimitiveRegistry:
+    """Name -> primitive lookup shared by the parser, dataflow network, and
+    every execution strategy."""
+
+    def __init__(self):
+        self._by_name: dict[str, Primitive] = {}
+
+    def register(self, primitive: Primitive) -> Primitive:
+        if primitive.name in self._by_name:
+            raise PrimitiveError(
+                f"primitive {primitive.name!r} already registered")
+        self._by_name[primitive.name] = primitive
+        return primitive
+
+    def get(self, name: str) -> Primitive:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise PrimitiveError(f"unknown primitive {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)

@@ -1,0 +1,95 @@
+"""Elementwise math primitives beyond basic arithmetic.
+
+``sqrt`` is required by the paper's expressions; the comparison and
+``select`` primitives support the conditional form from the paper's
+introduction (``if (norm(grad(b)) > 10) then (c*c) else (-c*c)``), and the
+rest round out a calculator-style operator set (abs/min/max/pow/exp/log).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CallStyle, Primitive, ResultKind
+
+__all__ = ["SQRT", "ABS", "MIN", "MAX", "POW", "EXP", "LOG",
+           "LT", "GT", "LE", "GE", "EQ", "NE", "SELECT",
+           "MATH_PRIMITIVES"]
+
+
+def _unary(name: str, cl_expr: str, fn, flops: int) -> Primitive:
+    return Primitive(
+        name=name, arity=1,
+        result_kind=ResultKind.SCALAR,
+        call_style=CallStyle.ELEMENTWISE,
+        flops_per_element=flops,
+        cl_name=f"dfg_{name}",
+        cl_source=(f"inline {{T}} dfg_{name}(const {{T}} a)\n"
+                   f"{{{{ return {cl_expr}; }}}}"),
+        cl_call=f"dfg_{name}({{a0}})",
+        numpy_fn=fn,
+    )
+
+
+def _binary_fn(name: str, cl_expr: str, fn, flops: int, *,
+               commutative: bool = False) -> Primitive:
+    return Primitive(
+        name=name, arity=2,
+        result_kind=ResultKind.SCALAR,
+        call_style=CallStyle.ELEMENTWISE,
+        flops_per_element=flops,
+        cl_name=f"dfg_{name}",
+        cl_source=(f"inline {{T}} dfg_{name}(const {{T}} a, const {{T}} b)\n"
+                   f"{{{{ return {cl_expr}; }}}}"),
+        cl_call=f"dfg_{name}({{a0}}, {{a1}})",
+        numpy_fn=fn,
+        commutative=commutative,
+    )
+
+
+SQRT = _unary("sqrt", "sqrt(a)", lambda a: np.sqrt(a), flops=4)
+ABS = _unary("abs", "fabs(a)", lambda a: np.abs(a), flops=1)
+EXP = _unary("exp", "exp(a)", lambda a: np.exp(a), flops=8)
+LOG = _unary("log", "log(a)", lambda a: np.log(a), flops=8)
+
+MIN = _binary_fn("min", "fmin(a, b)", lambda a, b: np.minimum(a, b), 1,
+                 commutative=True)
+MAX = _binary_fn("max", "fmax(a, b)", lambda a, b: np.maximum(a, b), 1,
+                 commutative=True)
+POW = _binary_fn("pow", "pow(a, b)", lambda a, b: np.power(a, b), 10)
+
+# Comparisons produce 1.0/0.0 masks, the form OpenCL's select() consumes and
+# a convention VisIt's expression language shares.
+LT = _binary_fn("lt", "(a < b) ? ({T})1 : ({T})0",
+                lambda a, b: (np.asarray(a) < np.asarray(b)).astype(
+                    np.result_type(a, b)), 1)
+GT = _binary_fn("gt", "(a > b) ? ({T})1 : ({T})0",
+                lambda a, b: (np.asarray(a) > np.asarray(b)).astype(
+                    np.result_type(a, b)), 1)
+LE = _binary_fn("le", "(a <= b) ? ({T})1 : ({T})0",
+                lambda a, b: (np.asarray(a) <= np.asarray(b)).astype(
+                    np.result_type(a, b)), 1)
+GE = _binary_fn("ge", "(a >= b) ? ({T})1 : ({T})0",
+                lambda a, b: (np.asarray(a) >= np.asarray(b)).astype(
+                    np.result_type(a, b)), 1)
+EQ = _binary_fn("eq", "(a == b) ? ({T})1 : ({T})0",
+                lambda a, b: (np.asarray(a) == np.asarray(b)).astype(
+                    np.result_type(a, b)), 1, commutative=True)
+NE = _binary_fn("ne", "(a != b) ? ({T})1 : ({T})0",
+                lambda a, b: (np.asarray(a) != np.asarray(b)).astype(
+                    np.result_type(a, b)), 1, commutative=True)
+
+SELECT = Primitive(
+    name="select", arity=3,
+    result_kind=ResultKind.SCALAR,
+    call_style=CallStyle.ELEMENTWISE,
+    flops_per_element=1,
+    cl_name="dfg_select",
+    cl_source=("inline {T} dfg_select(const {T} c, const {T} t, "
+               "const {T} f)\n{{ return (c != ({T})0) ? t : f; }}"),
+    cl_call="dfg_select({a0}, {a1}, {a2})",
+    numpy_fn=lambda c, t, f: np.where(np.asarray(c) != 0, t, f),
+)
+
+MATH_PRIMITIVES = (SQRT, ABS, EXP, LOG, MIN, MAX, POW,
+                   LT, GT, LE, GE, EQ, NE, SELECT)

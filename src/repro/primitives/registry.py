@@ -1,0 +1,27 @@
+"""The default primitive registry shared across the framework."""
+
+from __future__ import annotations
+
+from .arithmetic import ARITHMETIC_PRIMITIVES
+from .base import PrimitiveRegistry
+from .gradient import GRAD3D
+from .math_ops import MATH_PRIMITIVES
+from .mesh_ops import MESH_PRIMITIVES
+from .vector import VECTOR_PRIMITIVES
+
+__all__ = ["default_registry", "DEFAULT_REGISTRY"]
+
+
+def default_registry() -> PrimitiveRegistry:
+    """Build a fresh registry with every built-in primitive."""
+    registry = PrimitiveRegistry()
+    for primitive in (*ARITHMETIC_PRIMITIVES, *MATH_PRIMITIVES,
+                      *VECTOR_PRIMITIVES, GRAD3D, *MESH_PRIMITIVES):
+        registry.register(primitive)
+    return registry
+
+
+# Module-level singleton used by default throughout the framework.  Tests
+# that register custom primitives should build their own via
+# :func:`default_registry`.
+DEFAULT_REGISTRY = default_registry()

@@ -1,0 +1,119 @@
+"""Vector-field primitives.
+
+``decompose`` is the paper's bracket-syntax primitive (``du[1]``): it
+selects one component of a multi-component field.  The fusion generator
+implements it at the source level with OpenCL vector-component selection
+(``val.s0``, ``val.s1``, ...), the staged strategy launches a small kernel
+for it, and roundtrip performs it on the host — exactly the difference that
+makes staged's K-Exe counts exceed roundtrip's in Table II.
+
+The remaining primitives (``vec3``/``dot``/``cross``/``vmag``) extend the
+building-block library in the calculator style of VisIt/ParaView.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CallStyle, Primitive, ResultKind, VECTOR_WIDTH
+
+__all__ = ["DECOMPOSE", "VEC3", "DOT", "CROSS", "VMAG", "VECTOR_PRIMITIVES"]
+
+
+def _decompose_np(vec: np.ndarray, component) -> np.ndarray:
+    comp = int(component)
+    if not 0 <= comp < VECTOR_WIDTH:
+        raise ValueError(f"component {comp} out of range")
+    return np.ascontiguousarray(vec[:, comp])
+
+
+# decompose's component index is compile-time network metadata (a node
+# *param*), not a dataflow input: the fusion generator bakes it into the
+# source (``val.s1``) and the staged strategy passes it by value.
+DECOMPOSE = Primitive(
+    name="decompose", arity=1,
+    result_kind=ResultKind.SCALAR,
+    call_style=CallStyle.SOURCE,
+    flops_per_element=0,
+    cl_name="dfg_decompose",
+    # Shared helper used by the *staged* strategy's decompose kernel; the
+    # fusion generator instead emits ``value.sN`` directly (cl_call below).
+    cl_source=("inline {T} dfg_decompose(const {T4} v, const int c)\n"
+               "{{ return (c == 0) ? v.s0 : (c == 1) ? v.s1 : "
+               "(c == 2) ? v.s2 : v.s3; }}"),
+    cl_call="({a0}).s{component}",
+    numpy_fn=_decompose_np,
+)
+
+
+def _vec3_np(a, b, c) -> np.ndarray:
+    a, b, c = np.broadcast_arrays(np.atleast_1d(a), np.atleast_1d(b),
+                                  np.atleast_1d(c))
+    dtype = np.result_type(a, b, c)
+    out = np.zeros((a.shape[0], VECTOR_WIDTH), dtype=dtype)
+    out[:, 0], out[:, 1], out[:, 2] = a, b, c
+    return out
+
+
+VEC3 = Primitive(
+    name="vec3", arity=3,
+    result_kind=ResultKind.VECTOR,
+    call_style=CallStyle.ELEMENTWISE,
+    flops_per_element=0,
+    cl_name="dfg_vec3",
+    cl_source=("inline {T4} dfg_vec3(const {T} a, const {T} b, "
+               "const {T} c)\n{{ return ({T4})(a, b, c, ({T})0); }}"),
+    cl_call="dfg_vec3({a0}, {a1}, {a2})",
+    numpy_fn=_vec3_np,
+)
+
+DOT = Primitive(
+    name="dot", arity=2,
+    result_kind=ResultKind.SCALAR,
+    call_style=CallStyle.ELEMENTWISE,
+    flops_per_element=7,
+    cl_name="dfg_dot",
+    cl_source=("inline {T} dfg_dot(const {T4} a, const {T4} b)\n"
+               "{{ return a.s0*b.s0 + a.s1*b.s1 + a.s2*b.s2; }}"),
+    cl_call="dfg_dot({a0}, {a1})",
+    numpy_fn=lambda a, b: np.einsum(
+        "ij,ij->i", *(x[:, :3] for x in np.broadcast_arrays(a, b))),
+    commutative=True,
+)
+
+
+def _cross_np(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    a, b = np.broadcast_arrays(a, b)
+    out = np.zeros_like(a)
+    out[:, :3] = np.cross(a[:, :3], b[:, :3])
+    return out
+
+
+CROSS = Primitive(
+    name="cross", arity=2,
+    result_kind=ResultKind.VECTOR,
+    call_style=CallStyle.ELEMENTWISE,
+    flops_per_element=9,
+    cl_name="dfg_cross",
+    cl_source=(
+        "inline {T4} dfg_cross(const {T4} a, const {T4} b)\n"
+        "{{ return ({T4})(a.s1*b.s2 - a.s2*b.s1,\n"
+        "               a.s2*b.s0 - a.s0*b.s2,\n"
+        "               a.s0*b.s1 - a.s1*b.s0, ({T})0); }}"),
+    cl_call="dfg_cross({a0}, {a1})",
+    numpy_fn=_cross_np,
+)
+
+VMAG = Primitive(
+    name="vmag", arity=1,
+    result_kind=ResultKind.SCALAR,
+    call_style=CallStyle.ELEMENTWISE,
+    flops_per_element=11,
+    cl_name="dfg_vmag",
+    cl_source=("inline {T} dfg_vmag(const {T4} a)\n"
+               "{{ return sqrt(a.s0*a.s0 + a.s1*a.s1 + a.s2*a.s2); }}"),
+    cl_call="dfg_vmag({a0})",
+    numpy_fn=lambda a: np.sqrt(np.einsum("ij,ij->i", a[:, :3], a[:, :3])),
+)
+
+VECTOR_PRIMITIVES = (DECOMPOSE, VEC3, DOT, CROSS, VMAG)

@@ -1,0 +1,125 @@
+"""Execution-strategy interface and shared machinery.
+
+Section III-C: a strategy controls *"data movement and how the OpenCL
+kernels for each of the derived field primitives are composed to compute
+the final result"*.  Strategies share the primitive library and the
+dataflow network; they differ only in transfers, kernel granularity, and
+intermediate placement.  Adding a strategy means subclassing
+:class:`ExecutionStrategy` — no primitive changes, exactly the paper's
+extension story.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..clsim.environment import CLEnvironment, TimingSummary
+from ..clsim.events import EventCounts
+from ..dataflow.network import Network
+from ..dataflow.spec import NodeSpec
+from ..errors import StrategyError
+from ..primitives.base import Primitive, ResultKind, VECTOR_WIDTH
+from .bindings import ArraySpec, Binding, BindingInput, normalize, \
+    problem_size
+
+__all__ = ["ExecutionReport", "ExecutionStrategy", "ctype_for"]
+
+
+def ctype_for(dtype: np.dtype) -> str:
+    """OpenCL element type for a NumPy float dtype."""
+    if np.dtype(dtype) == np.float64:
+        return "double"
+    if np.dtype(dtype) == np.float32:
+        return "float"
+    raise StrategyError(f"unsupported field dtype {dtype}")
+
+
+@dataclass
+class ExecutionReport:
+    """Everything one execution produced.
+
+    ``output`` is ``None`` for dry-run (planning) executions.  The
+    ``counts``/``timing``/``mem_high_water`` triple feeds Table II, Fig 5,
+    and Fig 6 respectively; ``generated_sources`` holds the OpenCL C the
+    strategy emitted, for inspection and validation.
+    """
+
+    strategy: str
+    output: Optional[np.ndarray]
+    counts: EventCounts
+    timing: TimingSummary
+    mem_high_water: int
+    generated_sources: dict[str, str] = field(default_factory=dict)
+
+
+class ExecutionStrategy(abc.ABC):
+    """Base class: orchestration helpers shared by all strategies."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def execute(self, network: Network,
+                arrays: Mapping[str, BindingInput],
+                env: CLEnvironment) -> ExecutionReport:
+        """Run ``network`` over the bound host arrays on ``env``'s device."""
+
+    # -- shared helpers ---------------------------------------------------------
+
+    def _prepare(self, network: Network,
+                 arrays: Mapping[str, BindingInput]):
+        """Normalize bindings and compute problem sizing."""
+        bindings = normalize(arrays, network.live_sources())
+        n, dtype = problem_size(bindings)
+        return bindings, n, np.dtype(dtype)
+
+    def _node_components(self, network: Network, node_id: str) -> int:
+        return (VECTOR_WIDTH
+                if network.kind_of(node_id) is ResultKind.VECTOR else 1)
+
+    def _node_nbytes(self, network: Network, node_id: str,
+                     bindings: Mapping[str, Binding],
+                     n: int, dtype: np.dtype) -> int:
+        """Device-buffer size for a node's value.  Uniform (constant-
+        valued) nodes occupy one element and broadcast."""
+        node = network.spec.node(node_id)
+        if node.filter == "source":
+            return bindings[node_id].nbytes
+        if node.filter == "const" or network.uniform(node_id):
+            return dtype.itemsize * self._node_components(network, node_id)
+        return n * dtype.itemsize * self._node_components(network, node_id)
+
+    def _broadcast_output(self, output: Optional[np.ndarray],
+                          network: Network, node_id: str,
+                          n: int) -> Optional[np.ndarray]:
+        """Expand a uniform result to the full problem size on return."""
+        if output is None or not network.uniform(node_id):
+            return output
+        components = self._node_components(network, node_id)
+        shape = (n,) if components == 1 else (n, components)
+        return np.ascontiguousarray(
+            np.broadcast_to(output.reshape(1, -1)[0], shape))
+
+    def _report(self, env: CLEnvironment, output: Optional[np.ndarray],
+                sources: dict[str, str]) -> ExecutionReport:
+        return ExecutionReport(
+            strategy=self.name,
+            output=output,
+            counts=env.event_counts(),
+            timing=env.timing(),
+            mem_high_water=env.mem_high_water,
+            generated_sources=sources,
+        )
+
+    @staticmethod
+    def _primitive_args(node: NodeSpec, primitive: Primitive,
+                        values: Mapping[str, np.ndarray]) -> list:
+        """Assemble NumPy executor arguments for one node: the input arrays
+        plus, for decompose, its compile-time component parameter."""
+        args = [values[input_id] for input_id in node.inputs]
+        if node.filter == "decompose":
+            args.append(node.param("component"))
+        return args

@@ -1,0 +1,181 @@
+"""Single-primitive OpenCL kernel generation.
+
+The *roundtrip* and *staged* strategies launch one kernel per filter
+invocation.  This module generates those standalone kernels from primitive
+metadata: the shared helper function plus a thin ``__kernel`` wrapper whose
+parameter list reflects the actual argument kinds (problem-sized array,
+single-element constant buffer, vector-typed array, or by-value scalar).
+
+Generated source is cached per (primitive, argument-kinds, element-type)
+signature, mirroring how a real implementation would cache compiled
+``cl.Program`` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..clsim.compiler import PREAMBLE
+from ..clsim.kernel import Kernel
+from ..primitives.base import CallStyle, Primitive, ResultKind, VECTOR_WIDTH
+from ..primitives.vector import DECOMPOSE
+
+__all__ = ["ArgKind", "KernelCache", "ARRAY", "CONST_BUF", "VECTOR",
+           "BY_VALUE"]
+
+ARRAY = "array"          # problem-sized scalar array
+CONST_BUF = "const_buf"  # single-element constant buffer
+VECTOR = "vector"        # problem-sized VECTOR_WIDTH-component array
+BY_VALUE = "by_value"    # OpenCL by-value scalar argument
+
+ArgKind = str
+
+
+def _operand_expr(kind: ArgKind, name: str) -> str:
+    if kind == ARRAY or kind == VECTOR:
+        return f"{name}[gid]"
+    if kind == CONST_BUF:
+        return f"{name}[0]"
+    return name  # by-value
+
+
+class KernelCache:
+    """Builds and memoizes single-primitive kernels for one element type."""
+
+    def __init__(self, dtype: np.dtype):
+        self.dtype = np.dtype(dtype)
+        self.ctype = "double" if self.dtype == np.float64 else "float"
+        self._cache: dict[tuple, Kernel] = {}
+
+    @property
+    def vec_ctype(self) -> str:
+        return f"{self.ctype}{VECTOR_WIDTH}"
+
+    # -- public builders --------------------------------------------------------
+
+    def primitive_kernel(self, primitive: Primitive,
+                         arg_kinds: Sequence[ArgKind],
+                         component: int | None = None) -> Kernel:
+        """Kernel for one filter invocation.
+
+        ``component`` is decompose's compile-time parameter; it is passed
+        by value, matching the staged strategy's use of a kernel for the
+        decomposition primitive.
+        """
+        key = (primitive.name, tuple(arg_kinds), component)
+        kernel = self._cache.get(key)
+        if kernel is None:
+            if primitive.call_style is CallStyle.GLOBAL:
+                kernel = self._gradient_kernel(primitive, arg_kinds)
+            elif primitive.name == DECOMPOSE.name:
+                kernel = self._decompose_kernel()
+            else:
+                kernel = self._elementwise_kernel(primitive, arg_kinds)
+            self._cache[key] = kernel
+        return kernel
+
+    def fill_kernel(self) -> Kernel:
+        """Materialize a constant into a single-element device buffer (the
+        staged strategy's extra kernel in Table II's Q-Crit row)."""
+        key = ("__fill__",)
+        kernel = self._cache.get(key)
+        if kernel is None:
+            source = (
+                f"{PREAMBLE}"
+                f"__kernel void k_fill(const {self.ctype} value,\n"
+                f"                     __global {self.ctype}* out)\n"
+                "{\n    const size_t gid = get_global_id(0);\n"
+                "    out[gid] = value;\n}\n")
+            dtype = self.dtype
+            kernel = Kernel(
+                "k_fill", source,
+                executor=lambda value: np.full(1, value, dtype=dtype),
+                arg_names=("value",))
+            self._cache[key] = kernel
+        return kernel
+
+    def sources(self) -> dict[str, str]:
+        return {k.name: k.source for k in self._cache.values()}
+
+    # -- private builders ------------------------------------------------------
+
+    def _param_decl(self, kind: ArgKind, name: str) -> str:
+        if kind == ARRAY or kind == CONST_BUF:
+            return f"__global const {self.ctype}* {name}"
+        if kind == VECTOR:
+            return f"__global const {self.vec_ctype}* {name}"
+        return f"const {self.ctype} {name}"
+
+    def _result_decl(self, primitive: Primitive) -> str:
+        out_type = (self.vec_ctype
+                    if primitive.result_kind is ResultKind.VECTOR
+                    else self.ctype)
+        return f"__global {out_type}* out"
+
+    def _kernel_name(self, primitive: Primitive,
+                     arg_kinds: Sequence[ArgKind]) -> str:
+        tag = "".join(k[0] for k in arg_kinds)
+        return f"k_{primitive.name}_{tag}" if tag else f"k_{primitive.name}"
+
+    def _elementwise_kernel(self, primitive: Primitive,
+                            arg_kinds: Sequence[ArgKind]) -> Kernel:
+        names = [f"a{i}" for i in range(len(arg_kinds))]
+        params = [self._param_decl(k, n) for k, n in zip(arg_kinds, names)]
+        params.append(self._result_decl(primitive))
+        call = primitive.render_call(
+            *[_operand_expr(k, n) for k, n in zip(arg_kinds, names)],
+            T=self.ctype)
+        name = self._kernel_name(primitive, arg_kinds)
+        source = (
+            f"{PREAMBLE}"
+            f"{primitive.render_source(self.ctype)}\n\n"
+            f"__kernel void {name}(\n    " + ",\n    ".join(params) + ")\n"
+            "{\n    const size_t gid = get_global_id(0);\n"
+            f"    out[gid] = {call};\n}}\n")
+        return Kernel(name, source, executor=primitive.numpy_fn,
+                      arg_names=tuple(names))
+
+    def _gradient_kernel(self, primitive: Primitive,
+                         arg_kinds: Sequence[ArgKind]) -> Kernel:
+        # Stencil (GLOBAL) primitives follow the mesh-argument convention:
+        # (field..., dims, x, y, z).  dims is an int buffer; every array is
+        # passed as a plain global pointer indexed internally by the helper
+        # (direct global access).
+        name = f"k_{primitive.name}"
+        n_fields = primitive.arity - 4
+        field_names = [f"f{i}" for i in range(n_fields)] \
+            if n_fields > 1 else ["f"]
+        arg_names = (*field_names, "dims", "x", "y", "z")
+        out_ctype = (self.vec_ctype
+                     if primitive.result_kind is ResultKind.VECTOR
+                     else self.ctype)
+        params = [f"__global const {self.ctype}* {fname}"
+                  for fname in field_names]
+        params.append("__global const int* dims")
+        params.extend(f"__global const {self.ctype}* {c}"
+                      for c in ("x", "y", "z"))
+        params.append(f"__global {out_ctype}* out")
+        call = primitive.render_call(*arg_names, T=self.ctype)
+        source = (
+            f"{PREAMBLE}"
+            f"{primitive.render_source(self.ctype)}\n\n"
+            f"__kernel void {name}(\n    " + ",\n    ".join(params) + ")\n"
+            "{\n    const size_t gid = get_global_id(0);\n"
+            f"    out[gid] = {call};\n}}\n")
+        return Kernel(name, source, executor=primitive.numpy_fn,
+                      arg_names=arg_names)
+
+    def _decompose_kernel(self) -> Kernel:
+        source = (
+            f"{PREAMBLE}"
+            f"{DECOMPOSE.render_source(self.ctype)}\n\n"
+            f"__kernel void k_decompose(\n"
+            f"    __global const {self.vec_ctype}* v,\n"
+            "    const int c,\n"
+            f"    __global {self.ctype}* out)\n"
+            "{\n    const size_t gid = get_global_id(0);\n"
+            "    out[gid] = dfg_decompose(v[gid], c);\n}\n")
+        return Kernel("k_decompose", source, executor=DECOMPOSE.numpy_fn,
+                      arg_names=("v", "c"))

@@ -1,0 +1,124 @@
+"""The *roundtrip* execution strategy (Section III-C1).
+
+One OpenCL kernel per derived-field primitive, and **every** intermediate
+result transfers back to host memory after its kernel completes.  Each
+kernel argument occurrence is uploaded fresh (``u*u`` uploads ``u`` twice),
+which is what yields the paper's Table II write counts (VelMag 11,
+VortMag 32, Q-Crit 123).  Decomposition happens on the host — the gradient
+result is already in host memory — so staged ends up with *more* kernel
+launches than roundtrip for the gradient-based expressions.
+
+The payoff for all this traffic: device global memory only ever holds one
+kernel's working set, making roundtrip the least memory-constrained
+strategy (it can process data sets the faster strategies cannot fit).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..clsim.environment import CLEnvironment
+from ..clsim.perfmodel import KernelCost
+from ..dataflow.network import Network
+from ..dataflow.spec import CONST, SOURCE
+from ..primitives.base import ResultKind
+from .base import ExecutionReport, ExecutionStrategy
+from .bindings import BindingInput
+from .kernelgen import ARRAY, CONST_BUF, KernelCache, VECTOR
+
+__all__ = ["RoundtripStrategy"]
+
+
+class RoundtripStrategy(ExecutionStrategy):
+    """Kernel-per-primitive with host round trips for every intermediate."""
+
+    name = "roundtrip"
+
+    def execute(self, network: Network,
+                arrays: Mapping[str, BindingInput],
+                env: CLEnvironment) -> ExecutionReport:
+        bindings, n, dtype = self._prepare(network, arrays)
+        cache = KernelCache(dtype)
+        registry = network.registry
+        dry = env.dry_run
+
+        # Host-side values for every node (None when planning).
+        values: dict[str, Optional[np.ndarray]] = {}
+        output_id = network.output_ids()[0]
+        output: Optional[np.ndarray] = None
+
+        for node in network.schedule():
+            if node.filter == SOURCE:
+                values[node.id] = bindings[node.id].data
+                continue
+            if node.filter == CONST:
+                values[node.id] = (None if dry else
+                                   np.full(1, node.param("value"),
+                                           dtype=dtype))
+                continue
+            if node.filter == "decompose":
+                # Host-side component selection: no device events at all.
+                component = node.param("component")
+                values[node.id] = (None if dry else np.ascontiguousarray(
+                    values[node.inputs[0]][:, component]))
+                if node.id == output_id:
+                    output = values[node.id]
+                continue
+
+            primitive = registry.get(node.filter)
+            arg_kinds = []
+            for input_id in node.inputs:
+                input_node = network.spec.node(input_id)
+                if input_node.filter == CONST:
+                    arg_kinds.append(CONST_BUF)
+                elif network.kind_of(input_id) is ResultKind.VECTOR:
+                    arg_kinds.append(VECTOR)
+                else:
+                    arg_kinds.append(ARRAY)
+
+            # Upload one fresh buffer per argument occurrence.
+            arg_buffers = []
+            traffic = 0
+            for input_id in node.inputs:
+                nbytes = self._node_nbytes(network, input_id, bindings,
+                                           n, dtype)
+                traffic += nbytes
+                if dry:
+                    arg_buffers.append(env.upload_shape(nbytes, input_id))
+                else:
+                    arg_buffers.append(env.upload(values[input_id],
+                                                  input_id))
+
+            out_nbytes = self._node_nbytes(network, node.id, bindings,
+                                           n, dtype)
+            out_buf = env.create_buffer(out_nbytes, node.id)
+            traffic += out_nbytes
+
+            kernel = cache.primitive_kernel(primitive, arg_kinds)
+            cost = KernelCost(
+                global_bytes=traffic,
+                flops=primitive.flops_per_element * n,
+                register_words=4,
+                itemsize=dtype.itemsize,
+                elements=n)
+            env.queue.enqueue_kernel(kernel, arg_buffers, out_buf, cost)
+            result = env.queue.enqueue_read_buffer(out_buf)
+            if result is not None and network.kind_of(
+                    node.id) is ResultKind.VECTOR:
+                result = result.reshape(n, -1)
+            values[node.id] = result
+            if node.id == output_id:
+                output = result
+
+            for buf in arg_buffers:
+                buf.release()
+            out_buf.release()
+
+        if output is None and not dry:
+            # Degenerate network: the output is a source, constant, or a
+            # host-side decompose — already in host memory, no kernels.
+            output = values.get(output_id)
+        output = self._broadcast_output(output, network, output_id, n)
+        return self._report(env, output, cache.sources())

@@ -1,0 +1,153 @@
+"""The *staged* execution strategy (Section III-C2).
+
+Like roundtrip, one kernel per primitive — but intermediate results never
+leave the device: each distinct input is uploaded exactly once (just before
+its first consumer), intermediates stay in device global memory between
+kernel invocations with reference-counted eager release, and only the
+final result is read back (Dev-R = 1).
+
+Consequences measured by the paper:
+
+* decompose becomes a device kernel ("staged used more kernel dispatches
+  than roundtrip, because it implements the decomposition primitive using
+  a kernel to move intermediate results on the OpenCL target device");
+* each unique constant is materialized once by a fill kernel (the +1 in
+  Q-Crit's 67 kernels);
+* holding live intermediates in global memory makes staged the *most*
+  memory-constrained strategy, even with reference-counted eager release.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..clsim.buffer import Buffer
+from ..clsim.environment import CLEnvironment
+from ..clsim.perfmodel import KernelCost
+from ..dataflow.network import Network
+from ..dataflow.spec import CONST, SOURCE
+from ..primitives.base import CallStyle, ResultKind
+from .base import ExecutionReport, ExecutionStrategy
+from .bindings import BindingInput
+from .kernelgen import ARRAY, BY_VALUE, CONST_BUF, KernelCache, VECTOR
+
+__all__ = ["StagedStrategy"]
+
+
+class StagedStrategy(ExecutionStrategy):
+    """Kernel-per-primitive with device-resident intermediates."""
+
+    name = "staged"
+
+    def execute(self, network: Network,
+                arrays: Mapping[str, BindingInput],
+                env: CLEnvironment) -> ExecutionReport:
+        bindings, n, dtype = self._prepare(network, arrays)
+        cache = KernelCache(dtype)
+        registry = network.registry
+        dry = env.dry_run
+        refcounts = network.refcounts()
+
+        buffers: dict[str, Buffer] = {}
+
+        def consume(node_id: str) -> None:
+            """Reference-counted release: free a buffer after its last
+            consumer has executed (the paper's intermediate-reuse design)."""
+            refcounts[node_id] -= 1
+            if refcounts[node_id] == 0:
+                buffers[node_id].release()
+
+        def ensure_source_uploaded(source_id: str) -> None:
+            """Upload a source just before its first consumer runs (exactly
+            one Dev-W per distinct input).  Lazy staging keeps the device
+            footprint to live values only — the property that lets staged
+            execute networks whose fused form cannot fit (Section V-D)."""
+            if source_id in buffers:
+                return
+            binding = bindings[source_id]
+            if dry:
+                buffers[source_id] = env.upload_shape(
+                    binding.nbytes, source_id)
+            else:
+                buffers[source_id] = env.upload(binding.data, source_id)
+
+        # -- materialize constants with fill kernels -------------------------
+        for node in network.schedule():
+            if node.filter != CONST:
+                continue
+            buf = env.create_buffer(dtype.itemsize, node.id)
+            fill = cache.fill_kernel()
+            env.queue.enqueue_kernel(
+                fill, [float(node.param("value"))], buf,
+                KernelCost(global_bytes=dtype.itemsize, flops=0,
+                           itemsize=dtype.itemsize))
+            buffers[node.id] = buf
+
+        # -- execute filters in dependency order -------------------------------
+        output_id = network.output_ids()[0]
+        output: Optional[np.ndarray] = None
+        for node in network.schedule():
+            if node.filter in (SOURCE, CONST):
+                continue
+            primitive = registry.get(node.filter)
+            for input_id in node.inputs:
+                if network.spec.node(input_id).filter == SOURCE:
+                    ensure_source_uploaded(input_id)
+
+            arg_kinds = []
+            for input_id in node.inputs:
+                input_node = network.spec.node(input_id)
+                if input_node.filter == CONST:
+                    arg_kinds.append(CONST_BUF)
+                elif network.kind_of(input_id) is ResultKind.VECTOR:
+                    arg_kinds.append(VECTOR)
+                else:
+                    arg_kinds.append(ARRAY)
+
+            kernel_args: list[object] = [buffers[i] for i in node.inputs]
+            if node.filter == "decompose":
+                # The component travels by value, not as a buffer.
+                kernel_args.append(int(node.param("component")))
+                arg_kinds.append(BY_VALUE)
+
+            out_nbytes = self._node_nbytes(network, node.id, bindings,
+                                           n, dtype)
+            out_buf = env.create_buffer(out_nbytes, node.id)
+            traffic = out_nbytes + sum(
+                b.nbytes for b in kernel_args if isinstance(b, Buffer))
+            kernel = cache.primitive_kernel(
+                primitive, arg_kinds[:primitive.arity],
+                component=node.param("component")
+                if node.filter == "decompose" else None)
+            cost = KernelCost(
+                global_bytes=traffic,
+                flops=primitive.flops_per_element * n,
+                register_words=4,
+                itemsize=dtype.itemsize,
+                elements=n)
+            env.queue.enqueue_kernel(kernel, kernel_args, out_buf, cost)
+            buffers[node.id] = out_buf
+            if not dry and network.kind_of(node.id) is ResultKind.VECTOR \
+                    and not network.uniform(node.id) \
+                    and out_buf.data is not None:
+                out_buf.data = out_buf.data.reshape(n, -1)
+
+            for input_id in node.inputs:
+                consume(input_id)
+
+        # -- read back only the final result ------------------------------------
+        if network.spec.node(output_id).filter == SOURCE:
+            ensure_source_uploaded(output_id)  # degenerate `a = u` network
+        result = env.queue.enqueue_read_buffer(buffers[output_id])
+        if result is not None:
+            output = self._broadcast_output(result, network, output_id, n)
+        consume(output_id)
+        # Release anything the output aliasing kept alive (e.g. the output
+        # itself when it is also an alias target).
+        for node_id, buf in buffers.items():
+            if not buf.released and refcounts.get(node_id, 0) <= 0:
+                buf.release()
+
+        return self._report(env, output, cache.sources())

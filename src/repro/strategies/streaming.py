@@ -1,0 +1,81 @@
+"""The *streaming* execution strategy — the paper's first future-work item
+(Section VI: "we plan to investigate the runtime performance of our
+execution strategies in a streaming context").
+
+Streams the fused kernel over slabs of the problem: each slab (plus a halo
+wide enough for the gradient stencil) is uploaded, executed, and read back
+before the next begins, so device global memory is bounded by the slab
+working set rather than the problem size.  This is what lets the GPU
+process Table I grids that plain fusion cannot fit (see
+``benchmarks/bench_ext_streaming.py``).
+
+Composition, not duplication: each slab runs through the unmodified
+:class:`~repro.strategies.fusion.FusionStrategy` against the shared
+environment, so the dynamic kernel generator, primitive library, event
+accounting, and memory tracking are exercised as-is.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..clsim.environment import CLEnvironment
+from ..dataflow.network import Network
+from ..primitives.base import CallStyle, ResultKind, VECTOR_WIDTH
+from ..errors import StrategyError
+from .base import ExecutionReport, ExecutionStrategy
+from .bindings import BindingInput
+from .chunking import assemble, chunk_bindings, discover_mesh, plan_chunks
+from .fusion import FusionStrategy
+
+__all__ = ["StreamingFusionStrategy"]
+
+
+class StreamingFusionStrategy(ExecutionStrategy):
+    """Fused execution over i-axis slabs with stencil halos."""
+
+    name = "streaming"
+
+    def __init__(self, n_chunks: int = 4):
+        if n_chunks < 1:
+            raise StrategyError("n_chunks must be >= 1")
+        self.n_chunks = n_chunks
+        self._inner = FusionStrategy()
+
+    def _halo_width(self, network: Network) -> int:
+        """One cell of halo per stencil primitive in the network (the
+        gradient's central difference reads +-1 along each axis)."""
+        return 1 if any(
+            network.registry.get(node.filter).call_style
+            is CallStyle.GLOBAL
+            for node in network.schedule()
+            if node.filter not in ("source", "const")) else 0
+
+    def execute(self, network: Network,
+                arrays: Mapping[str, BindingInput],
+                env: CLEnvironment) -> ExecutionReport:
+        bindings, n, dtype = self._prepare(network, arrays)
+        if env.dry_run:
+            raise StrategyError(
+                "streaming works on live arrays; plan its memory bound by "
+                "planning a single chunk with FusionStrategy instead")
+        host_arrays = {name: binding.data
+                       for name, binding in bindings.items()}
+        layout = discover_mesh(host_arrays, n)
+        chunks = plan_chunks(layout, self.n_chunks, self._halo_width(network))
+
+        output_id = network.output_ids()[0]
+        components = (VECTOR_WIDTH
+                      if network.kind_of(output_id) is ResultKind.VECTOR
+                      else 1)
+        pieces = []
+        sources: dict[str, str] = {}
+        for chunk in chunks:
+            sub = chunk_bindings(host_arrays, layout, chunk)
+            report = self._inner.execute(network, sub, env)
+            sources.update(report.generated_sources)
+            pieces.append((chunk, report.output))
+        output = assemble(pieces, layout, components)
+        return self._report(env, output, sources)

@@ -1,0 +1,22 @@
+"""Evaluation workloads: the Table I grid catalogue, synthetic
+Rayleigh-Taylor-like fields (substituting the proprietary LLNL DNS data),
+the analytically-solvable Taylor-Green vortex, and simple analytic fields
+for exactness tests."""
+
+from .abc_flow import abc_fields, abc_q_criterion, abc_velocity
+from .analytic import cell_center_grids, linear_field, quadratic_field
+from .datasets import (FULL_DATASET, SubGrid, TABLE1_SUBGRIDS, make_fields,
+                       make_mesh, make_shapes, scaled_subgrids)
+from .rt import mixing_layer_profile, rt_velocity
+from .taylor_green import (taylor_green_fields, taylor_green_q_criterion,
+                           taylor_green_velocity, taylor_green_vorticity)
+
+__all__ = [
+    "SubGrid", "TABLE1_SUBGRIDS", "FULL_DATASET", "make_mesh",
+    "make_shapes", "make_fields", "scaled_subgrids",
+    "rt_velocity", "mixing_layer_profile",
+    "taylor_green_fields", "taylor_green_velocity",
+    "taylor_green_vorticity", "taylor_green_q_criterion",
+    "linear_field", "quadratic_field", "cell_center_grids",
+    "abc_fields", "abc_velocity", "abc_q_criterion",
+]

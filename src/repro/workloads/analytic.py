@@ -1,0 +1,49 @@
+"""Analytic test fields with exact derived quantities.
+
+Linear and polynomial fields whose gradients the discrete scheme must
+reproduce exactly (central + one-sided differences are exact for linear
+fields, and central differences for quadratics on uniform grids), used by
+unit and property-based tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["linear_field", "quadratic_field", "cell_center_grids"]
+
+
+def cell_center_grids(x, y, z):
+    """(X, Y, Z) cell-center meshgrids for point coordinate arrays."""
+    xc = 0.5 * (np.asarray(x)[:-1] + np.asarray(x)[1:])
+    yc = 0.5 * (np.asarray(y)[:-1] + np.asarray(y)[1:])
+    zc = 0.5 * (np.asarray(z)[:-1] + np.asarray(z)[1:])
+    return np.meshgrid(xc, yc, zc, indexing="ij")
+
+
+def linear_field(x, y, z, coefficients=(2.0, -3.0, 0.5),
+                 offset: float = 1.0):
+    """``a*x + b*y + c*z + offset`` with its exact (constant) gradient.
+
+    Returns ``(field_flat, gradient)`` where gradient is the coefficient
+    triple — exact for this discretization on any rectilinear mesh.
+    """
+    a, b, c = coefficients
+    X, Y, Z = cell_center_grids(x, y, z)
+    f = a * X + b * Y + c * Z + offset
+    return f.ravel(), np.asarray(coefficients, dtype=float)
+
+
+def quadratic_field(x, y, z, coefficients=(1.0, 2.0, -1.0)):
+    """``a*x^2 + b*y^2 + c*z^2`` with its exact gradient arrays.
+
+    Central differences are exact for quadratics at interior cells of a
+    uniform mesh; the returned exact gradient lets tests check interior
+    cells tightly and boundary cells to first order.
+    """
+    a, b, c = coefficients
+    X, Y, Z = cell_center_grids(x, y, z)
+    f = a * X * X + b * Y * Y + c * Z * Z
+    grad = np.stack([(2 * a * X).ravel(), (2 * b * Y).ravel(),
+                     (2 * c * Z).ravel()], axis=1)
+    return f.ravel(), grad

@@ -1,0 +1,116 @@
+"""Table I dataset catalogue and rectilinear-mesh construction.
+
+The paper's single-device evaluation sweeps twelve sub-grids of a 3072^3
+Rayleigh-Taylor DNS time step, 192 x 192 x (256..3072) cells, with
+cell-centered float64 velocity components (u, v, w) and point coordinates
+(x, y, z).  The quoted "Data Size" column is the three velocity arrays at
+8 bytes per cell (216 MiB for the smallest grid, which the paper rounds to
+218 MB).
+
+The original LLNL data is unavailable; :func:`make_fields` synthesizes a
+velocity field with vortical structure on the same grids (see
+:mod:`repro.workloads.rt`), and :func:`make_shapes` produces shape-only
+bindings for full-scale dry-run planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..strategies.bindings import ArraySpec
+
+__all__ = ["SubGrid", "TABLE1_SUBGRIDS", "FULL_DATASET", "make_mesh",
+           "make_shapes", "make_fields", "scaled_subgrids"]
+
+N_VELOCITY_COMPONENTS = 3
+
+
+@dataclass(frozen=True)
+class SubGrid:
+    """One evaluation grid: cell dimensions and derived size metadata."""
+
+    ni: int
+    nj: int
+    nk: int
+
+    @property
+    def dims(self) -> tuple[int, int, int]:
+        return (self.ni, self.nj, self.nk)
+
+    @property
+    def n_cells(self) -> int:
+        return self.ni * self.nj * self.nk
+
+    def data_size_bytes(self, itemsize: int = 8) -> int:
+        """The Table I "Data Size": the velocity arrays."""
+        return self.n_cells * N_VELOCITY_COMPONENTS * itemsize
+
+    def label(self) -> str:
+        return f"{self.ni}x{self.nj}x{self.nk:04d}"
+
+
+# Table I: 192 x 192 x (256 * k) for k = 1..12.
+TABLE1_SUBGRIDS: tuple[SubGrid, ...] = tuple(
+    SubGrid(192, 192, 256 * k) for k in range(1, 13))
+
+# The full 3072^3 time step: 3072 sub-grids of 192 x 192 x 256 (the paper
+# rounds its 29.0e9 cells to "27 billion").
+FULL_DATASET = {
+    "global_dims": (3072, 3072, 3072),
+    "block_dims": (192, 192, 256),
+    "n_blocks": 3072,
+    "n_gpus": 256,
+    "n_nodes": 128,
+    "blocks_per_gpu": 12,
+}
+
+
+def scaled_subgrids(factor: int) -> tuple[SubGrid, ...]:
+    """Table I shrunk by ``factor`` per axis, preserving the 12-point sweep
+    shape for wall-clock benchmarking on small machines."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    return tuple(SubGrid(max(2, 192 // factor), max(2, 192 // factor),
+                         max(2, (256 * k) // factor))
+                 for k in range(1, 13))
+
+
+def make_mesh(dims: tuple[int, int, int],
+              extent: tuple[float, float, float] = (1.0, 1.0, 1.0),
+              dtype=np.float64) -> dict[str, np.ndarray]:
+    """Rectilinear point coordinates + dims array for a cell grid."""
+    ni, nj, nk = dims
+    return {
+        "dims": np.asarray([ni, nj, nk], dtype=np.int32),
+        "x": np.linspace(0.0, extent[0], ni + 1, dtype=dtype),
+        "y": np.linspace(0.0, extent[1], nj + 1, dtype=dtype),
+        "z": np.linspace(0.0, extent[2], nk + 1, dtype=dtype),
+    }
+
+
+def make_shapes(grid: SubGrid, dtype=np.float64) -> dict[str, ArraySpec]:
+    """Shape-only bindings for dry-run planning at full paper scale."""
+    dtype = np.dtype(dtype)
+    n = grid.n_cells
+    return {
+        "u": ArraySpec((n,), dtype),
+        "v": ArraySpec((n,), dtype),
+        "w": ArraySpec((n,), dtype),
+        "dims": ArraySpec((3,), np.dtype(np.int32)),
+        "x": ArraySpec((grid.ni + 1,), dtype),
+        "y": ArraySpec((grid.nj + 1,), dtype),
+        "z": ArraySpec((grid.nk + 1,), dtype),
+    }
+
+
+def make_fields(grid: SubGrid, *, seed: int = 0,
+                dtype=np.float64) -> dict[str, np.ndarray]:
+    """Mesh plus a synthetic vortical velocity field on ``grid``."""
+    from .rt import rt_velocity  # local import to avoid a cycle
+
+    mesh = make_mesh(grid.dims, dtype=dtype)
+    u, v, w = rt_velocity(grid.dims, mesh["x"], mesh["y"], mesh["z"],
+                          seed=seed, dtype=dtype)
+    return {"u": u, "v": v, "w": w, **mesh}

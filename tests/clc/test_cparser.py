@@ -1,0 +1,157 @@
+"""Unit tests for the OpenCL C lexer/parser."""
+
+import pytest
+
+from repro.clc import clc_diagnostics, parse_clc
+from repro.clc import ast
+from repro.errors import ParseError
+
+
+def parse_one(body: str, signature="inline double f(const double a)"):
+    unit = parse_clc(f"{signature}\n{{ {body} }}")
+    return unit.functions[0]
+
+
+class TestFunctions:
+    def test_inline_helper(self):
+        fn = parse_one("return a;")
+        assert not fn.is_kernel
+        assert fn.return_type.base == "double"
+        assert fn.params[0].name == "a"
+        assert fn.params[0].type.const
+
+    def test_kernel(self):
+        unit = parse_clc(
+            "__kernel void k(__global const double* u,\n"
+            "                __global double* out)\n"
+            "{ out[0] = u[0]; }")
+        fn = unit.functions[0]
+        assert fn.is_kernel
+        assert fn.params[0].type.pointer
+        assert fn.params[0].type.is_global
+        assert fn.params[0].type.const
+        assert not fn.params[1].type.const
+
+    def test_empty_params(self):
+        unit = parse_clc("inline int f() { return 1; }")
+        assert unit.functions[0].params == ()
+
+    def test_multiple_functions(self):
+        unit = parse_clc(
+            "inline double a() { return 1.0; }\n"
+            "inline double b() { return a(); }")
+        assert [f.name for f in unit.functions] == ["a", "b"]
+        assert unit.function("b").name == "b"
+
+    def test_comments_and_pragma_stripped(self):
+        unit = parse_clc(
+            "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n"
+            "/* block\n comment */\n"
+            "// line comment\n"
+            "inline int f() { return 0; }")
+        assert unit.functions[0].name == "f"
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        fn = parse_one("const double t = a * 2.0; return t;")
+        decl = fn.body.statements[0]
+        assert isinstance(decl, ast.Declaration)
+        assert decl.type.const
+        assert decl.declarators[0].name == "t"
+
+    def test_multi_declarator(self):
+        fn = parse_one("int i, j, k; return a;")
+        decl = fn.body.statements[0]
+        assert [d.name for d in decl.declarators] == ["i", "j", "k"]
+
+    def test_if_else(self):
+        fn = parse_one("if (a > 0.0) { return a; } else { return -a; }")
+        stmt = fn.body.statements[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        fn = parse_one(
+            "if (a > 0.0) if (a > 1.0) return 2.0; else return 1.0;"
+            " return 0.0;")
+        outer = fn.body.statements[0]
+        assert outer.otherwise is None
+        assert outer.then.otherwise is not None
+
+    def test_assignment_statement(self):
+        fn = parse_one("double t; t = a; return t;")
+        assert isinstance(fn.body.statements[1], ast.Assign)
+
+    def test_return_void(self):
+        unit = parse_clc("inline void f() { return; }")
+        assert unit.functions[0].body.statements[0].value is None
+
+
+class TestExpressions:
+    def expr_of(self, text):
+        fn = parse_one(f"return {text};")
+        return fn.body.statements[0].value
+
+    def test_precedence(self):
+        expr = self.expr_of("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_ternary(self):
+        expr = self.expr_of("a > 0.0 ? 1.0 : 2.0")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_cast(self):
+        expr = self.expr_of("(int)a")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type.base == "int"
+
+    def test_cast_of_parenthesized(self):
+        expr = self.expr_of("(long)(a + 1.0)")
+        assert isinstance(expr, ast.Cast)
+        assert isinstance(expr.operand, ast.Binary)
+
+    def test_vector_constructor(self):
+        expr = self.expr_of("(double4)(a, 1.0, 2.0, 0.0)")
+        assert isinstance(expr, ast.VectorConstruct)
+        assert len(expr.components) == 4
+
+    def test_member_access(self):
+        expr = self.expr_of("a.s2")
+        assert isinstance(expr, ast.Member)
+        assert expr.name == "s2"
+
+    def test_index_chain(self):
+        expr = self.expr_of("a[0]")
+        assert isinstance(expr, ast.Index)
+
+    def test_address_of_and_deref(self):
+        fn = parse_one("int i; f2(&i); *p = 1; return a;",
+                       signature="inline double g(const double a, "
+                                 "int* p)")
+        call = fn.body.statements[1].expr
+        assert isinstance(call.args[0], ast.AddressOf)
+        assert isinstance(fn.body.statements[2].target, ast.Deref)
+
+    def test_modulo_and_integer_literals(self):
+        expr = self.expr_of("7 % 3")
+        assert expr.op == "%"
+
+    def test_float_literal_forms(self):
+        for text, value in [("0.5", 0.5), ("1e3", 1000.0),
+                            ("2.5f", 2.5), (".25", 0.25)]:
+            assert self.expr_of(text) == ast.FloatLit(value)
+
+    def test_syntax_error(self):
+        with pytest.raises(ParseError):
+            parse_clc("inline double f( { return 1; }")
+
+
+class TestDiagnostics:
+    def test_only_the_documented_conflict(self):
+        diag = clc_diagnostics()
+        # the classic cast-vs-parenthesized shift/reduce, resolved to
+        # shift (correct C); everything else is conflict-free
+        assert len(diag["conflicts"]) == 1
+        assert diag["conflicts"][0].token == "RPAREN"

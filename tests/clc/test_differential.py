@@ -1,0 +1,152 @@
+"""Differential testing: the generated OpenCL C, executed by the
+interpreter, must compute exactly what the NumPy executors compute.
+
+This is the strongest evidence the code generators emit *real* kernels:
+every path — single-primitive wrappers, the hand-written reference
+kernels, and the fusion generator's output for all three paper
+expressions — is executed both ways and compared.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import vortex
+from repro.clc import Interpreter, parse_clc
+from repro.host import DerivedFieldEngine, derive_report
+from repro.primitives import (ADD, DECOMPOSE, GRAD3D, MULT, SELECT, SQRT,
+                              grad3d_numpy)
+from repro.strategies.kernelgen import (ARRAY, CONST_BUF, KernelCache,
+                                        VECTOR)
+from repro.workloads import SubGrid, make_fields
+
+GRID = SubGrid(4, 5, 6)
+N = GRID.n_cells
+
+
+@pytest.fixture(scope="module")
+def fields():
+    return make_fields(GRID, seed=33)
+
+
+def run_clc(source, kernel_name, args, n):
+    interp = Interpreter(parse_clc(source))
+    interp.run_kernel(kernel_name, list(args), n)
+
+
+class TestSinglePrimitiveKernels:
+    def test_elementwise_add(self, fields):
+        cache = KernelCache(np.float64)
+        kernel = cache.primitive_kernel(ADD, [ARRAY, ARRAY])
+        out = np.zeros(N)
+        run_clc(kernel.source, kernel.name,
+                [fields["u"], fields["v"], out], N)
+        np.testing.assert_array_equal(out, fields["u"] + fields["v"])
+
+    def test_const_buffer_broadcast(self, fields):
+        cache = KernelCache(np.float64)
+        kernel = cache.primitive_kernel(MULT, [CONST_BUF, ARRAY])
+        const = np.array([0.5])
+        out = np.zeros(N)
+        run_clc(kernel.source, kernel.name, [const, fields["u"], out], N)
+        np.testing.assert_array_equal(out, 0.5 * fields["u"])
+
+    def test_sqrt(self, fields):
+        cache = KernelCache(np.float64)
+        kernel = cache.primitive_kernel(SQRT, [ARRAY])
+        squares = fields["u"] ** 2
+        out = np.zeros(N)
+        run_clc(kernel.source, kernel.name, [squares, out], N)
+        np.testing.assert_allclose(out, np.abs(fields["u"]), rtol=1e-15)
+
+    def test_select(self, fields):
+        cache = KernelCache(np.float64)
+        kernel = cache.primitive_kernel(SELECT, [ARRAY, ARRAY, ARRAY])
+        cond = (fields["u"] > 0).astype(np.float64)
+        out = np.zeros(N)
+        run_clc(kernel.source, kernel.name,
+                [cond, fields["v"], fields["w"], out], N)
+        np.testing.assert_array_equal(
+            out, np.where(cond != 0, fields["v"], fields["w"]))
+
+    def test_fill(self):
+        cache = KernelCache(np.float64)
+        kernel = cache.fill_kernel()
+        out = np.zeros(1)
+        run_clc(kernel.source, kernel.name, [3.25, out], 1)
+        assert out[0] == 3.25
+
+    def test_gradient_kernel(self, fields):
+        """The 70-line stencil kernel, work-item by work-item, against the
+        vectorized NumPy gradient."""
+        cache = KernelCache(np.float64)
+        kernel = cache.primitive_kernel(GRAD3D, [ARRAY] * 5)
+        out = np.zeros((N, 4))
+        run_clc(kernel.source, kernel.name,
+                [fields["u"], fields["dims"], fields["x"], fields["y"],
+                 fields["z"], out], N)
+        expected = grad3d_numpy(fields["u"], fields["dims"], fields["x"],
+                                fields["y"], fields["z"])
+        np.testing.assert_allclose(out, expected, rtol=1e-14, atol=1e-14)
+
+    def test_decompose_kernel(self, fields):
+        cache = KernelCache(np.float64)
+        kernel = cache.primitive_kernel(DECOMPOSE, [VECTOR], component=2)
+        vectors = grad3d_numpy(fields["u"], fields["dims"], fields["x"],
+                               fields["y"], fields["z"])
+        out = np.zeros(N)
+        run_clc(kernel.source, kernel.name, [vectors, 2, out], N)
+        np.testing.assert_array_equal(out, vectors[:, 2])
+
+
+class TestFusedKernels:
+    @pytest.mark.parametrize("name", list(vortex.EXPRESSIONS))
+    def test_fused_kernel_matches_numpy_execution(self, name, fields):
+        """Execute the fusion generator's OpenCL C for each paper
+        expression and compare with the framework's own output."""
+        from repro.strategies import FusionStrategy, plan_stages
+        engine = DerivedFieldEngine(device="cpu", strategy="fusion")
+        compiled = engine.compile(vortex.EXPRESSIONS[name])
+        inputs = {k: fields[k] for k in compiled.required_inputs}
+        report = engine.execute(compiled, inputs)
+
+        strategy = FusionStrategy()
+        bindings, n, dtype = strategy._prepare(compiled.network, inputs)
+        (stage,), _ = plan_stages(compiled.network)
+        (source,) = report.generated_sources.values()
+
+        args = [inputs[node_id] if node_id in inputs
+                else pytest.fail(f"unexpected read {node_id}")
+                for node_id in stage.reads]
+        out = np.zeros(n)
+        kernel_name = f"k_fused_s{stage.index}"
+        run_clc(source, kernel_name, [*args, out], n)
+        np.testing.assert_allclose(out, report.output, rtol=1e-13,
+                                   atol=1e-13)
+
+    def test_fused_kernel_with_constants_and_select(self, fields):
+        text = "a = if (u > 0.0) then (0.5 * u) else (u * u)"
+        engine = DerivedFieldEngine(device="cpu", strategy="fusion")
+        report = engine.execute(text, {"u": fields["u"]})
+        (source,) = report.generated_sources.values()
+        out = np.zeros(N)
+        run_clc(source, "k_fused_s0", [fields["u"], out], N)
+        np.testing.assert_allclose(out, report.output, rtol=1e-15)
+
+
+class TestReferenceKernels:
+    @pytest.mark.parametrize("name", list(vortex.EXPRESSIONS))
+    def test_reference_kernel_matches_numpy(self, name, fields):
+        report = derive_report(vortex.EXPRESSIONS[name],
+                               {k: fields[k]
+                                for k in vortex.EXPRESSION_INPUTS[name]})
+        from repro.strategies import ReferenceKernel
+        from repro.clsim import CLEnvironment
+        inputs = {k: fields[k] for k in vortex.EXPRESSION_INPUTS[name]}
+        ref_report = ReferenceKernel(name).execute(
+            inputs, CLEnvironment("cpu"))
+        (source,) = ref_report.generated_sources.values()
+        out = np.zeros(N)
+        args = [inputs[k] for k in vortex.EXPRESSION_INPUTS[name]]
+        run_clc(source, f"ref_{name}", [*args, out], N)
+        np.testing.assert_allclose(out, ref_report.output, rtol=1e-13,
+                                   atol=1e-13)

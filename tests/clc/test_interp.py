@@ -1,0 +1,181 @@
+"""Unit tests for the OpenCL C interpreter semantics."""
+
+import numpy as np
+import pytest
+
+from repro.clc import CLCError, Interpreter, parse_clc
+
+
+def interp_of(source):
+    return Interpreter(parse_clc(source))
+
+
+def call(source, name, *args):
+    return interp_of(source).call(name, args)
+
+
+class TestScalars:
+    def test_arithmetic(self):
+        src = "inline double f(const double a, const double b)\n" \
+              "{ return (a + b) * (a - b) / b; }"
+        assert call(src, "f", 3.0, 2.0) == pytest.approx(2.5)
+
+    def test_integer_division_truncates(self):
+        src = "inline int f(const int a, const int b) { return a / b; }"
+        assert call(src, "f", 7, 2) == 3
+
+    def test_modulo(self):
+        src = "inline int f(const int a, const int b) { return a % b; }"
+        assert call(src, "f", 7, 3) == 1
+
+    def test_comparisons_produce_ints(self):
+        src = "inline int f(const double a) { return a > 0.0; }"
+        assert call(src, "f", 1.0) == 1
+        assert call(src, "f", -1.0) == 0
+
+    def test_logical_ops_short_circuit(self):
+        src = ("inline int f(const int a)\n"
+               "{ return a != 0 && 10 / a > 1; }")
+        assert call(src, "f", 0) == 0  # no ZeroDivisionError
+        assert call(src, "f", 4) == 1
+
+    def test_ternary(self):
+        src = ("inline double f(const double a)\n"
+               "{ return a > 0.0 ? a : -a; }")
+        assert call(src, "f", -4.0) == 4.0
+
+    def test_float_cast_narrows(self):
+        src = "inline float f(const double a) { return (float)a; }"
+        result = call(src, "f", 0.1)
+        assert result == np.float32(0.1)
+
+    def test_builtins(self):
+        src = ("inline double f(const double a)\n"
+               "{ return sqrt(a) + fabs(-a) + fmin(a, 1.0)"
+               " + fmax(a, 10.0) + pow(a, 2.0); }")
+        a = 4.0
+        assert call(src, "f", a) == pytest.approx(
+            2.0 + 4.0 + 1.0 + 10.0 + 16.0)
+
+    def test_nested_calls_and_recursion_free_helpers(self):
+        src = ("inline double twice(const double a) { return 2.0 * a; }\n"
+               "inline double f(const double a)"
+               " { return twice(twice(a)); }")
+        assert call(src, "f", 3.0) == 12.0
+
+
+class TestVectors:
+    def test_constructor_and_members(self):
+        src = ("inline double f(const double a)\n"
+               "{\n"
+               "    const double4 v = (double4)(a, 2.0 * a, 0.0, 1.0);\n"
+               "    return v.s0 + v.s1 + v.s3;\n"
+               "}")
+        assert call(src, "f", 1.0) == 4.0
+
+    def test_xyzw_aliases(self):
+        src = ("inline double f(const double a)\n"
+               "{ const double4 v = (double4)(a, a, a, a);"
+               " return v.x + v.w; }")
+        assert call(src, "f", 2.0) == 4.0
+
+    def test_member_assignment(self):
+        src = ("inline double f(const double a)\n"
+               "{ double4 v; v.s2 = a; return v.s2 + v.s0; }")
+        assert call(src, "f", 5.0) == 5.0
+
+    def test_wrong_component_count_rejected(self):
+        src = ("inline double f(const double a)\n"
+               "{ const double4 v = (double4)(a, a); return v.s0; }")
+        with pytest.raises(CLCError, match="components"):
+            call(src, "f", 1.0)
+
+    def test_unknown_component_rejected(self):
+        src = ("inline double f(const double a)\n"
+               "{ const double4 v = (double4)(a,a,a,a); return v.s9; }")
+        with pytest.raises(CLCError, match="component"):
+            call(src, "f", 1.0)
+
+
+class TestPointers:
+    def test_global_buffer_indexing(self):
+        src = ("__kernel void k(__global const double* in,\n"
+               "                __global double* out)\n"
+               "{ const size_t gid = get_global_id(0);"
+               "  out[gid] = in[gid] * 2.0; }")
+        data = np.arange(3.0)
+        out = np.zeros(3)
+        interp_of(src).run_kernel("k", [data, out], 3)
+        np.testing.assert_array_equal(out, [0.0, 2.0, 4.0])
+
+    def test_pointer_arithmetic(self):
+        src = ("inline double f(__global const double* p)\n"
+               "{ return (p + 2)[0] + p[1]; }")
+        from repro.clc import GlobalBuffer
+        data = np.array([1.0, 10.0, 100.0])
+        assert interp_of(src).call("f", [GlobalBuffer(data)]) == 110.0
+
+    def test_out_params_via_address_of(self):
+        src = ("inline void split(const int v, int* lo, int* hi)\n"
+               "{ *lo = v % 10; *hi = v / 10; }\n"
+               "__kernel void k(__global int* out)\n"
+               "{ int lo, hi; split(47, &lo, &hi);"
+               "  out[0] = lo; out[1] = hi; }")
+        out = np.zeros(2, np.int64)
+        interp_of(src).run_kernel("k", [out], 1)
+        assert out.tolist() == [7, 4]
+
+    def test_deref_non_pointer_rejected(self):
+        src = "inline double f(const double a) { return *a; }"
+        with pytest.raises(CLCError, match="non-pointer"):
+            call(src, "f", 1.0)
+
+
+class TestControlFlow:
+    def test_early_return(self):
+        src = ("inline double f(const double a)\n"
+               "{ if (a < 0.0) { return 0.0; } return a; }")
+        assert call(src, "f", -1.0) == 0.0
+        assert call(src, "f", 2.0) == 2.0
+
+    def test_else_chains(self):
+        src = ("inline int f(const int a)\n"
+               "{ if (a == 0) return 10;\n"
+               "  if (a == 1) return 11;\n"
+               "  return 12; }")
+        assert [call(src, "f", i) for i in range(3)] == [10, 11, 12]
+
+    def test_get_global_id_per_item(self):
+        src = ("__kernel void k(__global double* out)\n"
+               "{ const size_t gid = get_global_id(0);"
+               "  out[gid] = (double)gid * 10.0; }")
+        out = np.zeros(4)
+        interp_of(src).run_kernel("k", [out], 4)
+        np.testing.assert_array_equal(out, [0.0, 10.0, 20.0, 30.0])
+
+
+class TestErrors:
+    def test_unknown_kernel(self):
+        with pytest.raises(CLCError, match="no kernel"):
+            interp_of("inline int f() { return 1; }").run_kernel(
+                "f", [], 1)
+
+    def test_wrong_arg_count(self):
+        src = "__kernel void k(__global double* out) { out[0] = 1.0; }"
+        with pytest.raises(CLCError, match="arguments"):
+            interp_of(src).run_kernel("k", [], 1)
+
+    def test_undefined_variable(self):
+        src = "inline double f() { return ghost; }"
+        with pytest.raises(CLCError, match="undefined variable"):
+            call(src, "f")
+
+    def test_undefined_function(self):
+        src = "inline double f() { return mystery(1.0); }"
+        with pytest.raises(CLCError, match="undefined function"):
+            call(src, "f")
+
+    def test_array_expected(self):
+        src = "__kernel void k(__global double* out) { out[0] = 1.0; }"
+        with pytest.raises(CLCError, match="array"):
+            interp_of(src).run_kernel("k", [3.0], 1)

@@ -1,0 +1,127 @@
+"""Unit tests for device buffers and the tracking allocator."""
+
+import numpy as np
+import pytest
+
+from repro.clsim import Allocator, Buffer, INTEL_X5660_CPU, NVIDIA_M2050_GPU
+from repro.errors import CLInvalidOperation, CLOutOfMemoryError
+
+
+@pytest.fixture
+def allocator():
+    return Allocator(NVIDIA_M2050_GPU)
+
+
+class TestAllocator:
+    def test_reserve_and_release(self, allocator):
+        allocator.reserve(1000)
+        assert allocator.current_bytes == 1000
+        allocator.release(1000)
+        assert allocator.current_bytes == 0
+
+    def test_peak_tracks_high_water(self, allocator):
+        allocator.reserve(1000)
+        allocator.reserve(500)
+        allocator.release(1000)
+        allocator.reserve(200)
+        assert allocator.peak_bytes == 1500
+        assert allocator.current_bytes == 700
+
+    def test_oom_at_capacity(self, allocator):
+        limit = NVIDIA_M2050_GPU.global_mem_bytes
+        allocator.reserve(limit)
+        with pytest.raises(CLOutOfMemoryError) as err:
+            allocator.reserve(1)
+        assert err.value.requested == 1
+        assert err.value.available == 0
+
+    def test_oom_preserves_state(self, allocator):
+        limit = NVIDIA_M2050_GPU.global_mem_bytes
+        allocator.reserve(limit - 10)
+        with pytest.raises(CLOutOfMemoryError):
+            allocator.reserve(100)
+        assert allocator.current_bytes == limit - 10
+
+    def test_exact_fit_allowed(self, allocator):
+        allocator.reserve(NVIDIA_M2050_GPU.global_mem_bytes)
+        assert allocator.available_bytes == 0
+
+    def test_negative_allocation_rejected(self, allocator):
+        with pytest.raises(CLInvalidOperation):
+            allocator.reserve(-5)
+
+    def test_over_release_rejected(self, allocator):
+        allocator.reserve(10)
+        with pytest.raises(CLInvalidOperation):
+            allocator.release(20)
+
+    def test_reset_peak(self, allocator):
+        allocator.reserve(100)
+        allocator.release(100)
+        allocator.reset_peak()
+        assert allocator.peak_bytes == 0
+
+    def test_cpu_has_96_gib(self):
+        assert Allocator(INTEL_X5660_CPU).device.global_mem_bytes \
+            == 96 * 2**30
+
+
+class TestBuffer:
+    def test_write_read_round_trip(self, allocator):
+        data = np.arange(8, dtype=np.float64)
+        buf = Buffer(allocator, data.nbytes, label="t")
+        buf.set_data(data)
+        np.testing.assert_array_equal(buf.get_data(), data)
+
+    def test_device_copy_not_view(self, allocator):
+        data = np.arange(4, dtype=np.float64)
+        buf = Buffer(allocator, data.nbytes)
+        buf.set_data(data)
+        data[0] = 99.0
+        assert buf.get_data()[0] == 0.0
+
+    def test_size_mismatch_rejected(self, allocator):
+        buf = Buffer(allocator, 64)
+        with pytest.raises(CLInvalidOperation, match="B"):
+            buf.set_data(np.zeros(4, dtype=np.float32))
+
+    def test_read_before_write_rejected(self, allocator):
+        buf = Buffer(allocator, 8)
+        with pytest.raises(CLInvalidOperation, match="before any write"):
+            buf.get_data()
+
+    def test_release_returns_memory(self, allocator):
+        buf = Buffer(allocator, 128)
+        assert allocator.current_bytes == 128
+        buf.release()
+        assert allocator.current_bytes == 0
+        assert buf.released
+
+    def test_release_idempotent(self, allocator):
+        buf = Buffer(allocator, 128)
+        buf.release()
+        buf.release()
+        assert allocator.current_bytes == 0
+
+    def test_use_after_release_rejected(self, allocator):
+        buf = Buffer(allocator, 8)
+        buf.release()
+        with pytest.raises(CLInvalidOperation, match="released"):
+            buf.set_data(np.zeros(1))
+
+    def test_dry_buffer_skips_data(self, allocator):
+        buf = Buffer(allocator, 8, dry=True)
+        buf.set_data(np.zeros(1))  # accepted but not stored
+        assert buf.data is None
+        with pytest.raises(CLInvalidOperation, match="dry"):
+            buf.get_data()
+
+    def test_dry_buffer_still_counts_memory(self, allocator):
+        Buffer(allocator, 4096, dry=True)
+        assert allocator.peak_bytes == 4096
+
+    def test_repr_states(self, allocator):
+        buf = Buffer(allocator, 8, label="x")
+        assert "live" in repr(buf)
+        buf.release()
+        assert "released" in repr(buf)

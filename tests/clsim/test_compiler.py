@@ -1,0 +1,90 @@
+"""Unit tests for OpenCL C source assembly and structural validation."""
+
+import pytest
+
+from repro.clsim import KernelSourceBuilder, validate_source
+from repro.clsim.compiler import PREAMBLE
+from repro.errors import CLBuildError
+
+
+class TestValidateSource:
+    def test_valid_kernel(self):
+        src = ("__kernel void k(__global const double* a, "
+               "__global double* out) "
+               "{ const size_t gid = get_global_id(0); out[gid] = a[gid]; }")
+        assert validate_source(src) == ["k"]
+
+    def test_multiple_kernels(self):
+        src = ("__kernel void a(__global double* x) { x[0] = 1; }\n"
+               "__kernel void b(__global double* y) { y[0] = 2; }")
+        assert validate_source(src) == ["a", "b"]
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(CLBuildError, match="unbalanced"):
+            validate_source("__kernel void k() { ")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(CLBuildError, match="unbalanced"):
+            validate_source("__kernel void k(( ) {}")
+
+    def test_no_kernel_entry(self):
+        with pytest.raises(CLBuildError, match="no __kernel"):
+            validate_source("inline double f(double a) { return a; }")
+
+    def test_unused_parameter_rejected(self):
+        src = ("__kernel void k(__global const double* unused, "
+               "__global double* out) { out[0] = 1.0; }")
+        with pytest.raises(CLBuildError, match="never used"):
+            validate_source(src)
+
+    def test_helpers_do_not_confuse_validation(self):
+        src = ("inline double h(double v) { return v * 2.0; }\n"
+               "__kernel void k(__global double* out) "
+               "{ out[0] = h(1.0); }")
+        assert validate_source(src) == ["k"]
+
+
+class TestKernelSourceBuilder:
+    def build(self):
+        builder = KernelSourceBuilder("k_test")
+        builder.add_helper("dfg_add",
+                           "inline double dfg_add(const double a, "
+                           "const double b)\n{ return a + b; }")
+        builder.add_global_param("double", "u")
+        builder.add_global_param("double", "v")
+        builder.add_global_param("double", "out", const=False)
+        builder.add_statement(
+            "const double t = dfg_add(u[gid], v[gid]);")
+        builder.add_statement("out[gid] = t;")
+        return builder
+
+    def test_renders_valid_source(self):
+        source = self.build().render()
+        assert validate_source(source) == ["k_test"]
+        assert source.startswith(PREAMBLE)
+
+    def test_helper_deduplication(self):
+        builder = self.build()
+        builder.add_helper("dfg_add", "/* duplicate */")
+        assert builder.render().count("inline double dfg_add") == 1
+
+    def test_gid_declared(self):
+        assert "get_global_id(0)" in self.build().render()
+
+    def test_value_param(self):
+        builder = KernelSourceBuilder("k_v")
+        builder.add_value_param("double", "scale")
+        builder.add_global_param("double", "out", const=False)
+        builder.add_statement("out[gid] = scale;")
+        source = builder.render()
+        assert "const double scale" in source
+        assert validate_source(source) == ["k_v"]
+
+    def test_const_qualifier_control(self):
+        builder = KernelSourceBuilder("k_c")
+        builder.add_global_param("double", "a")
+        builder.add_global_param("double", "b", const=False)
+        builder.add_statement("b[gid] = a[gid];")
+        source = builder.render()
+        assert "__global const double* a" in source
+        assert "__global double* b" in source

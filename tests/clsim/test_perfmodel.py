@@ -1,0 +1,90 @@
+"""Unit tests for the analytic device performance model."""
+
+import pytest
+
+from repro.clsim import (INTEL_X5660_CPU, KernelCost, NVIDIA_M2050_GPU,
+                         build_seconds, kernel_seconds, transfer_seconds)
+
+CPU, GPU = INTEL_X5660_CPU, NVIDIA_M2050_GPU
+MB = 10**6
+
+
+class TestTransfers:
+    def test_latency_floor(self):
+        assert transfer_seconds(0, GPU) == GPU.link_latency
+
+    def test_linear_in_bytes(self):
+        t1 = transfer_seconds(100 * MB, GPU) - GPU.link_latency
+        t2 = transfer_seconds(200 * MB, GPU) - GPU.link_latency
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_pcie_rate(self):
+        t = transfer_seconds(550 * MB, GPU)
+        assert t == pytest.approx(0.1, rel=0.01)  # 5.5 GB/s
+
+
+class TestKernels:
+    def test_launch_overhead_floor(self):
+        assert kernel_seconds(KernelCost(0, 0), GPU) \
+            == GPU.kernel_launch_overhead
+
+    def test_memory_bound_kernel(self):
+        cost = KernelCost(global_bytes=1200 * MB, flops=1)
+        assert kernel_seconds(cost, GPU) == pytest.approx(
+            GPU.kernel_launch_overhead + 0.01, rel=0.01)  # 120 GB/s
+
+    def test_compute_bound_kernel(self):
+        cost = KernelCost(global_bytes=8, flops=4 * 10**9, itemsize=8)
+        assert kernel_seconds(cost, GPU) == pytest.approx(
+            GPU.kernel_launch_overhead + 0.01, rel=0.01)  # 400 GF/s fp64
+
+    def test_roofline_takes_max(self):
+        mem = KernelCost(global_bytes=1200 * MB, flops=1)
+        both = KernelCost(global_bytes=1200 * MB, flops=4 * 10**9)
+        assert kernel_seconds(both, GPU) >= kernel_seconds(mem, GPU)
+
+    def test_fp32_faster_than_fp64(self):
+        flops = 10**10
+        t64 = kernel_seconds(KernelCost(8, flops, itemsize=8), GPU)
+        t32 = kernel_seconds(KernelCost(8, flops, itemsize=4), GPU)
+        assert t32 < t64
+
+    def test_gpu_kernel_faster_than_cpu(self):
+        cost = KernelCost(global_bytes=1000 * MB, flops=10**9)
+        assert kernel_seconds(cost, GPU) < kernel_seconds(cost, CPU)
+
+    def test_register_spill_penalty(self):
+        base = KernelCost(global_bytes=100 * MB, flops=0,
+                          register_words=GPU.registers_per_work_item)
+        spilled = KernelCost(global_bytes=100 * MB, flops=0,
+                             register_words=4 * GPU.registers_per_work_item)
+        assert kernel_seconds(spilled, GPU) > kernel_seconds(base, GPU)
+
+    def test_cost_addition(self):
+        total = KernelCost(100, 10, 4) + KernelCost(50, 5, 8)
+        assert total.global_bytes == 150
+        assert total.flops == 15
+        assert total.register_words == 8
+
+
+class TestBuild:
+    def test_scales_with_kernels_and_lines(self):
+        assert build_seconds(2, 100, GPU) > build_seconds(1, 100, GPU)
+        assert build_seconds(1, 1000, GPU) > build_seconds(1, 10, GPU)
+
+
+class TestDeviceSpecs:
+    def test_m2050_capacity_is_3_gib(self):
+        assert GPU.global_mem_bytes == 3 * 2**30
+
+    def test_cpu_completes_everything_gpu_cannot(self):
+        # the paper's fundamental asymmetry
+        assert CPU.global_mem_bytes > 30 * GPU.global_mem_bytes
+
+    def test_fits(self):
+        assert GPU.fits(GPU.global_mem_bytes)
+        assert not GPU.fits(GPU.global_mem_bytes + 1)
+
+    def test_flops_selector(self):
+        assert GPU.flops(8) == GPU.flops_fp64
+        assert GPU.flops(4) == GPU.flops_fp32

@@ -1,0 +1,76 @@
+"""Tests for platform enumeration and the event log."""
+
+import pytest
+
+from repro.clsim import (Event, EventKind, EventLog, find_device,
+                        get_platforms)
+from repro.clsim.device import DeviceType
+from repro.errors import CLError
+
+
+class TestPlatforms:
+    def test_two_platforms(self):
+        platforms = get_platforms()
+        assert len(platforms) == 2
+        names = {p.vendor for p in platforms}
+        assert any("Intel" in n for n in names)
+        assert any("NVIDIA" in n for n in names)
+
+    def test_edge_node_has_two_gpus(self):
+        nvidia = next(p for p in get_platforms() if "NVIDIA" in p.vendor)
+        assert len(nvidia.devices) == 2
+
+    def test_opencl_11(self):
+        assert all("OpenCL 1.1" in p.version for p in get_platforms())
+
+    def test_find_device_by_string(self):
+        assert find_device("cpu").device_type is DeviceType.CPU
+        assert find_device("GPU").device_type is DeviceType.GPU
+
+    def test_find_device_by_enum(self):
+        assert find_device(DeviceType.GPU).name.startswith("NVIDIA")
+
+    def test_unknown_kind(self):
+        with pytest.raises(CLError, match="unknown device"):
+            find_device("fpga")
+
+
+class TestEventLog:
+    def make_log(self):
+        log = EventLog()
+        log.record(Event(EventKind.DEV_WRITE, "u", 100, 1.0))
+        log.record(Event(EventKind.DEV_WRITE, "v", 200, 2.0))
+        log.record(Event(EventKind.KERNEL, "k", 300, 4.0, 0.5))
+        log.record(Event(EventKind.DEV_READ, "out", 100, 8.0))
+        return log
+
+    def test_counts(self):
+        counts = self.make_log().counts()
+        assert counts.as_row() == (2, 1, 1)
+
+    def test_count_single_kind(self):
+        assert self.make_log().count(EventKind.DEV_WRITE) == 2
+
+    def test_sim_time_total_and_filtered(self):
+        log = self.make_log()
+        assert log.sim_time() == 15.0
+        assert log.sim_time([EventKind.DEV_WRITE]) == 3.0
+        assert log.sim_time([EventKind.KERNEL, EventKind.DEV_READ]) == 12.0
+
+    def test_wall_time(self):
+        assert self.make_log().wall_time() == 0.5
+
+    def test_bytes_moved(self):
+        log = self.make_log()
+        assert log.bytes_moved(EventKind.DEV_WRITE) == 300
+        assert log.bytes_moved(EventKind.DEV_READ) == 100
+
+    def test_breakdown(self):
+        breakdown = self.make_log().breakdown()
+        assert breakdown == {"dev-write": 3.0, "kernel": 4.0,
+                             "dev-read": 8.0}
+
+    def test_clear(self):
+        log = self.make_log()
+        log.clear()
+        assert log.counts().as_row() == (0, 0, 0)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import SubGrid, make_fields, make_mesh
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> SubGrid:
+    return SubGrid(6, 7, 8)
+
+
+@pytest.fixture(scope="session")
+def small_fields(small_grid):
+    """Deterministic synthetic fields on a 6x7x8 grid (u,v,w,dims,x,y,z)."""
+    return make_fields(small_grid, seed=7)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_mesh(small_grid):
+    return make_mesh(small_grid.dims)

@@ -1,0 +1,48 @@
+"""Tests for DOT rendering of networks (Fig 4)."""
+
+from repro.analysis.vortex import VORTICITY_MAGNITUDE
+from repro.dataflow import render_dot
+from repro.expr import eliminate_common_subexpressions, lower, parse
+
+
+def spec_for(text):
+    spec, _ = lower(parse(text))
+    return eliminate_common_subexpressions(spec)
+
+
+class TestRenderDot:
+    def test_basic_structure(self):
+        dot = render_dot(spec_for("a = u + 0.5"))
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"u"' in dot
+        assert "diamond" in dot        # the constant
+        assert '"derived field"' in dot
+
+    def test_balanced_braces_and_quotes(self):
+        dot = render_dot(spec_for(VORTICITY_MAGNITUDE))
+        assert dot.count("{") == dot.count("}")
+        assert dot.count('"') % 2 == 0
+
+    def test_edges_match_inputs(self):
+        spec = spec_for("a = u * v")
+        dot = render_dot(spec)
+        node_id = spec.outputs[0]
+        assert f'"u" -> "{node_id}"' in dot
+        assert f'"v" -> "{node_id}"' in dot
+
+    def test_user_names_attached(self):
+        dot = render_dot(spec_for("speed = sqrt(u*u)"))
+        assert "speed" in dot
+
+    def test_output_highlighted(self):
+        dot = render_dot(spec_for("a = u + v"))
+        assert "#ffd9d9" in dot
+
+    def test_decompose_shows_component(self):
+        dot = render_dot(spec_for("a = grad3d(u,dims,x,y,z)[2]"))
+        assert "decompose[2]" in dot
+
+    def test_graph_name_escaped(self):
+        dot = render_dot(spec_for("a = u"), graph_name='we"ird')
+        assert 'digraph "we\\"ird"' in dot

@@ -1,0 +1,142 @@
+"""Unit tests for network validation, scheduling, refcounts, and kinds."""
+
+import pytest
+
+from repro.dataflow import Network, NetworkSpec
+from repro.errors import NetworkError, PrimitiveError
+from repro.primitives import ResultKind
+
+
+def simple_spec():
+    spec = NetworkSpec()
+    u, v = spec.add_source("u"), spec.add_source("v")
+    t = spec.add_filter("mult", [u, v])
+    out = spec.add_filter("sqrt", [t])
+    spec.set_output(out)
+    return spec, (u, v, t, out)
+
+
+class TestValidation:
+    def test_valid_network_builds(self):
+        spec, _ = simple_spec()
+        assert Network(spec).n_filters() == 2
+
+    def test_no_output_rejected(self):
+        spec = NetworkSpec()
+        spec.add_source("u")
+        with pytest.raises(NetworkError, match="no output"):
+            Network(spec)
+
+    def test_unknown_filter_rejected(self):
+        spec = NetworkSpec()
+        u = spec.add_source("u")
+        f = spec.add_filter("made_up", [u])
+        spec.set_output(f)
+        with pytest.raises(PrimitiveError, match="unknown primitive"):
+            Network(spec)
+
+    def test_arity_mismatch_rejected(self):
+        spec = NetworkSpec()
+        u = spec.add_source("u")
+        f = spec.add_filter("add", [u])  # add wants 2 inputs
+        spec.set_output(f)
+        with pytest.raises(NetworkError, match="arity"):
+            Network(spec)
+
+    def test_decompose_of_scalar_rejected(self):
+        spec = NetworkSpec()
+        u = spec.add_source("u")
+        d = spec.add_filter("decompose", [u], params={"component": 0})
+        spec.set_output(d)
+        with pytest.raises(NetworkError, match="non-vector"):
+            Network(spec)
+
+    def test_cycle_rejected(self):
+        spec, (u, v, t, out) = simple_spec()
+        # force a cycle by tampering with a frozen node's inputs
+        import dataclasses
+        node = spec.node(t)
+        spec.nodes[spec.nodes.index(node)] = dataclasses.replace(
+            node, inputs=(u, out))
+        spec._by_id[t] = spec.nodes[-2]
+        with pytest.raises(NetworkError, match="cycle"):
+            Network(spec)
+
+
+class TestScheduling:
+    def test_schedule_respects_dependencies(self):
+        spec, (u, v, t, out) = simple_spec()
+        order = [n.id for n in Network(spec).schedule()]
+        assert order.index(t) > order.index(u)
+        assert order.index(t) > order.index(v)
+        assert order.index(out) > order.index(t)
+
+    def test_dead_nodes_pruned(self):
+        spec, (u, v, t, out) = simple_spec()
+        dead = spec.add_filter("neg", [u])  # never consumed
+        net = Network(spec)
+        assert dead not in [n.id for n in net.schedule()]
+
+    def test_dead_source_pruned(self):
+        spec, _ = simple_spec()
+        spec.add_source("unused")
+        net = Network(spec)
+        assert "unused" not in net.live_sources()
+
+    def test_len_counts_live_nodes(self):
+        spec, _ = simple_spec()
+        assert len(Network(spec)) == 4
+
+
+class TestRefcounts:
+    def test_single_consumers(self):
+        spec, (u, v, t, out) = simple_spec()
+        counts = Network(spec).refcounts()
+        assert counts[u] == 1 and counts[v] == 1 and counts[t] == 1
+        assert counts[out] == 1  # the output sink counts as a consumer
+
+    def test_shared_intermediate(self):
+        spec = NetworkSpec()
+        u = spec.add_source("u")
+        t = spec.add_filter("sqrt", [u])
+        a = spec.add_filter("add", [t, t])
+        spec.set_output(a)
+        counts = Network(spec).refcounts()
+        assert counts[t] == 2
+
+    def test_refcounts_returns_copy(self):
+        spec, (u, *_ ) = simple_spec()
+        net = Network(spec)
+        counts = net.refcounts()
+        counts[u] = 99
+        assert net.refcounts()[u] == 1
+
+
+class TestKinds:
+    def test_scalar_default(self):
+        spec, (u, v, t, out) = simple_spec()
+        net = Network(spec)
+        assert net.kind_of(u) is ResultKind.SCALAR
+        assert net.kind_of(out) is ResultKind.SCALAR
+
+    def test_gradient_is_vector(self):
+        spec = NetworkSpec()
+        names = [spec.add_source(n) for n in ("u", "dims", "x", "y", "z")]
+        g = spec.add_filter("grad3d", names)
+        d = spec.add_filter("decompose", [g], params={"component": 0})
+        spec.set_output(d)
+        net = Network(spec)
+        assert net.kind_of(g) is ResultKind.VECTOR
+        assert net.kind_of(d) is ResultKind.SCALAR
+
+    def test_source_kind_override(self):
+        spec = NetworkSpec()
+        vel = spec.add_source("vel")
+        d = spec.add_filter("decompose", [vel], params={"component": 1})
+        spec.set_output(d)
+        net = Network(spec, source_kinds={"vel": ResultKind.VECTOR})
+        assert net.kind_of(vel) is ResultKind.VECTOR
+
+    def test_output_ids(self):
+        spec, (_, _, _, out) = simple_spec()
+        assert Network(spec).output_ids() == [out]

@@ -1,0 +1,139 @@
+"""Unit tests for the network specification / create-and-connect API."""
+
+import pytest
+
+from repro.dataflow import NetworkSpec
+from repro.dataflow.spec import CONST, SOURCE
+from repro.errors import NetworkError
+
+
+class TestConstruction:
+    def test_add_source(self):
+        spec = NetworkSpec()
+        assert spec.add_source("u") == "u"
+        assert spec.node("u").filter == SOURCE
+
+    def test_add_source_idempotent(self):
+        spec = NetworkSpec()
+        assert spec.add_source("u") == spec.add_source("u")
+        assert len(spec) == 1
+
+    def test_add_const_pools(self):
+        spec = NetworkSpec()
+        assert spec.add_const(0.5) == spec.add_const(0.5)
+        assert spec.add_const(0.5) != spec.add_const(0.25)
+
+    def test_const_pooling_distinguishes_int_float(self):
+        spec = NetworkSpec()
+        # repr-keyed pooling: 1 and 1.0 are distinct literal spellings
+        assert spec.add_const(1) != spec.add_const(1.0)
+
+    def test_add_filter_generic_names(self):
+        spec = NetworkSpec()
+        u = spec.add_source("u")
+        f1 = spec.add_filter("sqrt", [u])
+        f2 = spec.add_filter("sqrt", [f1])
+        assert f1 != f2
+        assert f1.startswith("op") and f2.startswith("op")
+
+    def test_filter_unknown_input_rejected(self):
+        spec = NetworkSpec()
+        with pytest.raises(NetworkError, match="unknown node"):
+            spec.add_filter("sqrt", ["ghost"])
+
+    def test_params_stored_sorted(self):
+        spec = NetworkSpec()
+        u = spec.add_source("u")
+        node_id = spec.add_filter("decompose", [u],
+                                  params={"component": 1})
+        assert spec.node(node_id).param("component") == 1
+        assert spec.node(node_id).param("missing", 42) == 42
+
+    def test_duplicate_node_id_rejected(self):
+        spec = NetworkSpec()
+        spec.add_source("u")
+        with pytest.raises(NetworkError, match="duplicate"):
+            spec._append(spec.node("u"))
+
+
+class TestAliasesAndOutputs:
+    def test_alias_and_resolve(self):
+        spec = NetworkSpec()
+        u = spec.add_source("u")
+        f = spec.add_filter("sqrt", [u])
+        spec.alias("root_u", f)
+        assert spec.resolve("root_u") == f
+        assert spec.resolve(f) == f
+
+    def test_alias_unknown_target_rejected(self):
+        spec = NetworkSpec()
+        with pytest.raises(NetworkError):
+            spec.alias("name", "op9999")
+
+    def test_resolve_unknown_rejected(self):
+        spec = NetworkSpec()
+        with pytest.raises(NetworkError):
+            spec.resolve("nope")
+
+    def test_set_output_resolves_alias(self):
+        spec = NetworkSpec()
+        u = spec.add_source("u")
+        f = spec.add_filter("sqrt", [u])
+        spec.alias("r", f)
+        spec.set_output("r")
+        assert spec.outputs == [f]
+
+    def test_set_output_idempotent(self):
+        spec = NetworkSpec()
+        u = spec.add_source("u")
+        spec.set_output(u)
+        spec.set_output(u)
+        assert spec.outputs == [u]
+
+
+class TestSignatures:
+    def test_signature_identity(self):
+        spec = NetworkSpec()
+        u, v = spec.add_source("u"), spec.add_source("v")
+        a = spec.add_filter("add", [u, v])
+        b = spec.add_filter("add", [u, v])
+        assert spec.node(a).signature() == spec.node(b).signature()
+
+    def test_signature_differs_on_params(self):
+        spec = NetworkSpec()
+        u = spec.add_source("u")
+        a = spec.add_filter("decompose", [u], params={"component": 0})
+        b = spec.add_filter("decompose", [u], params={"component": 1})
+        assert spec.node(a).signature() != spec.node(b).signature()
+
+
+class TestRewrite:
+    def test_rewrite_drops_and_remaps(self):
+        spec = NetworkSpec()
+        u, v = spec.add_source("u"), spec.add_source("v")
+        a = spec.add_filter("add", [u, v])
+        b = spec.add_filter("add", [u, v])   # duplicate
+        top = spec.add_filter("mult", [a, b])
+        spec.set_output(top)
+        out = spec.rewrite(keep=[u, v, a, top], replacement={b: a})
+        assert len(out) == 4
+        assert out.node(top).inputs == (a, a)
+        assert out.outputs == [top]
+
+    def test_rewrite_preserves_const_pool(self):
+        spec = NetworkSpec()
+        c = spec.add_const(2.0)
+        u = spec.add_source("u")
+        f = spec.add_filter("mult", [c, u])
+        spec.set_output(f)
+        out = spec.rewrite(keep=[c, u, f], replacement={})
+        assert out.add_const(2.0) == c  # pool survived
+
+    def test_rewrite_keeps_surviving_aliases(self):
+        spec = NetworkSpec()
+        u = spec.add_source("u")
+        f = spec.add_filter("sqrt", [u])
+        spec.alias("r", f)
+        spec.set_output(f)
+        out = spec.rewrite(keep=[u, f], replacement={})
+        assert out.resolve("r") == f

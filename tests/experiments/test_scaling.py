@@ -1,0 +1,51 @@
+"""Unit tests for the distributed scaling studies."""
+
+import pytest
+
+from repro.experiments import (format_scaling, strong_scaling,
+                               weak_scaling)
+
+
+class TestStrongScaling:
+    def test_makespan_halves_with_doubled_ranks(self):
+        points = strong_scaling(rank_counts=(128, 256))
+        assert points[1].makespan == pytest.approx(
+            points[0].makespan / 2, rel=0.05)
+
+    def test_blocks_per_rank_accounting(self):
+        points = strong_scaling(rank_counts=(64, 256))
+        assert points[0].blocks_per_rank == 48
+        assert points[1].blocks_per_rank == 12
+        assert all(p.total_blocks == 3072 for p in points)
+
+    def test_non_divisor_rejected(self):
+        with pytest.raises(ValueError, match="divide"):
+            strong_scaling(rank_counts=(100,))
+
+    def test_no_rank_fails(self):
+        points = strong_scaling(rank_counts=(256,))
+        assert points[0].failed_ranks == 0
+
+
+class TestWeakScaling:
+    def test_flat_makespan(self):
+        points = weak_scaling(rank_counts=(32, 128), blocks_per_rank=12)
+        assert points[1].makespan == pytest.approx(points[0].makespan,
+                                                   rel=0.05)
+
+    def test_problem_grows_with_ranks(self):
+        points = weak_scaling(rank_counts=(32, 64), blocks_per_rank=4)
+        assert points[1].total_blocks == 2 * points[0].total_blocks
+
+
+class TestFormatting:
+    def test_strong_table(self):
+        points = strong_scaling(rank_counts=(128, 256))
+        table = format_scaling(points, kind="strong")
+        assert "strong scaling" in table
+        assert "efficiency" in table
+        assert len(table.splitlines()) == 4
+
+    def test_weak_table(self):
+        points = weak_scaling(rank_counts=(32, 64))
+        assert "weak scaling" in format_scaling(points, kind="weak")

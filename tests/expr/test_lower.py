@@ -1,0 +1,146 @@
+"""Unit tests for AST -> dataflow-network lowering."""
+
+import pytest
+
+from repro.dataflow import Network
+from repro.dataflow.spec import CONST, SOURCE
+from repro.errors import LoweringError
+from repro.expr import lower, parse
+from repro.primitives import ResultKind
+from repro.analysis.vortex import Q_CRITERION, VORTICITY_MAGNITUDE
+
+
+def lowered(text, **kwargs):
+    spec, kinds = lower(parse(text), **kwargs)
+    return spec, kinds
+
+
+def filters_of(spec):
+    return [n.filter for n in spec.nodes
+            if n.filter not in (SOURCE, CONST)]
+
+
+class TestBasicLowering:
+    def test_binop_becomes_filter(self):
+        spec, _ = lowered("a = b + c")
+        assert filters_of(spec) == ["add"]
+
+    def test_all_operators_map(self):
+        for op, name in [("+", "add"), ("-", "sub"), ("*", "mult"),
+                         ("/", "div")]:
+            spec, _ = lowered(f"a = b {op} c")
+            assert filters_of(spec) == [name]
+
+    def test_free_idents_become_sources(self):
+        spec, _ = lowered("a = b + c")
+        assert set(spec.source_names()) == {"b", "c"}
+
+    def test_assigned_names_do_not_become_sources(self):
+        spec, _ = lowered("t = u * u\na = t + t")
+        assert spec.source_names() == ["u"]
+
+    def test_aliases_recorded(self):
+        spec, _ = lowered("t = u * u\na = t + v")
+        assert "t" in spec.aliases and "a" in spec.aliases
+
+    def test_output_is_last_assignment(self):
+        spec, _ = lowered("t = u * u\na = t + v")
+        assert spec.outputs == [spec.aliases["a"]]
+
+    def test_unary_minus(self):
+        spec, _ = lowered("a = -b")
+        assert filters_of(spec) == ["neg"]
+
+    def test_comparisons(self):
+        spec, _ = lowered("a = b > c")
+        assert filters_of(spec) == ["gt"]
+
+    def test_conditional_becomes_select(self):
+        spec, _ = lowered("a = if (b > 0) then (c) else (d)")
+        assert set(filters_of(spec)) == {"gt", "select"}
+
+
+class TestConstants:
+    def test_constant_node_created(self):
+        spec, _ = lowered("a = 0.5 * b")
+        consts = [n for n in spec.nodes if n.filter == CONST]
+        assert len(consts) == 1
+        assert consts[0].param("value") == 0.5
+
+    def test_common_constants_pooled(self):
+        spec, _ = lowered("a = 0.5 * b + 0.5 * c")
+        consts = [n for n in spec.nodes if n.filter == CONST]
+        assert len(consts) == 1
+
+    def test_distinct_constants_kept(self):
+        spec, _ = lowered("a = 0.5 * b + 0.25 * c")
+        consts = [n for n in spec.nodes if n.filter == CONST]
+        assert len(consts) == 2
+
+
+class TestCallsAndDecompose:
+    def test_call_lowered(self):
+        spec, _ = lowered("a = sqrt(b)")
+        assert filters_of(spec) == ["sqrt"]
+
+    def test_function_alias_norm(self):
+        spec, _ = lowered("a = norm(grad(b, dims, x, y, z))")
+        assert set(filters_of(spec)) == {"vmag", "grad3d"}
+
+    def test_index_becomes_decompose_with_param(self):
+        spec, _ = lowered("a = grad3d(u,dims,x,y,z)[2]")
+        decomposes = [n for n in spec.nodes if n.filter == "decompose"]
+        assert len(decomposes) == 1
+        assert decomposes[0].param("component") == 2
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(LoweringError, match="unknown filter"):
+            lowered("a = frobnicate(b)")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(LoweringError, match="arguments"):
+            lowered("a = sqrt(b, c)")
+
+    def test_grad_alias(self):
+        spec, _ = lowered("a = grad(u, dims, x, y, z)[0]")
+        assert "grad3d" in filters_of(spec)
+
+
+class TestKnownFields:
+    def test_known_fields_accepts_listed(self):
+        spec, kinds = lowered("a = u * u",
+                              known_fields={"u": ResultKind.SCALAR})
+        assert spec.source_names() == ["u"]
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(LoweringError, match="unknown variable"):
+            lowered("a = q * q", known_fields={"u": ResultKind.SCALAR})
+
+    def test_vector_kind_propagates(self):
+        spec, kinds = lowered("a = vel[0]",
+                              known_fields={"vel": ResultKind.VECTOR})
+        assert kinds == {"vel": ResultKind.VECTOR}
+        net = Network(spec, source_kinds=kinds)
+        assert net.kind_of("vel") is ResultKind.VECTOR
+
+
+class TestPaperNetworks:
+    def test_vorticity_network_is_valid(self):
+        spec, _ = lowered(VORTICITY_MAGNITUDE)
+        net = Network(spec)
+        assert net.n_filters() == 18  # before CSE: 3 grads recomputed? no:
+        # 3 grad + 6 decompose + 3 sub + 3 mult + 2 add + 1 sqrt
+
+    def test_q_criterion_network_shape(self):
+        """Fig 4: the Q-criterion dataflow network.
+
+        Before CSE the decompose of each reused gradient component appears
+        per use; after CSE the network has 3 gradients feeding 9 unique
+        decomposes feeding the arithmetic tree into one output.
+        """
+        spec, _ = lowered(Q_CRITERION)
+        net = Network(spec)
+        grads = [n for n in net.schedule() if n.filter == "grad3d"]
+        assert len(grads) == 3
+        sqrt_like = [n for n in net.schedule() if n.filter == "sqrt"]
+        assert not sqrt_like  # Q-criterion has no square root

@@ -1,0 +1,91 @@
+"""Unit tests for the limited CSE pass and its commutative extension."""
+
+from repro.dataflow import Network
+from repro.dataflow.spec import CONST, SOURCE
+from repro.expr import eliminate_common_subexpressions, lower, parse
+from repro.analysis.vortex import Q_CRITERION
+
+
+def build(text, commutative=False):
+    spec, _ = lower(parse(text))
+    return eliminate_common_subexpressions(spec, commutative=commutative)
+
+
+def n_filters(spec):
+    return sum(1 for n in spec.nodes if n.filter not in (SOURCE, CONST))
+
+
+class TestSyntacticCSE:
+    def test_identical_subexpressions_merged(self):
+        spec = build("a = (u * v) + (u * v)")
+        assert n_filters(spec) == 2  # one mult, one add
+
+    def test_different_subexpressions_kept(self):
+        spec = build("a = (u * v) + (u * w)")
+        assert n_filters(spec) == 3
+
+    def test_transitive_merging(self):
+        # (u*v)+w twice: inner mult merges, then outer add merges
+        spec = build("a = ((u * v) + w) * ((u * v) + w)")
+        assert n_filters(spec) == 3  # mult, add, outer mult
+
+    def test_repeated_decompose_merged(self):
+        spec = build("g = grad3d(u,dims,x,y,z)\na = g[0] + g[0]")
+        decomposes = [n for n in spec.nodes if n.filter == "decompose"]
+        assert len(decomposes) == 1
+
+    def test_decompose_different_components_kept(self):
+        spec = build("g = grad3d(u,dims,x,y,z)\na = g[0] + g[1]")
+        decomposes = [n for n in spec.nodes if n.filter == "decompose"]
+        assert len(decomposes) == 2
+
+    def test_aliases_follow_replacement(self):
+        spec = build("t1 = u * v\nt2 = u * v\na = t1 + t2")
+        assert spec.resolve("t1") == spec.resolve("t2")
+
+    def test_output_follows_replacement(self):
+        spec = build("t1 = u * v\nt2 = u * v")
+        out = spec.outputs[0]
+        assert spec.node(out).filter == "mult"
+
+    def test_sources_and_consts_survive(self):
+        spec = build("a = 0.5 * u + 0.5 * u")
+        assert spec.source_names() == ["u"]
+        assert sum(1 for n in spec.nodes if n.filter == CONST) == 1
+
+
+class TestLimitedness:
+    """The paper's CSE is 'limited': purely syntactic, not commutative."""
+
+    def test_operand_order_matters_by_default(self):
+        spec = build("a = (u * v) + (v * u)")
+        assert n_filters(spec) == 3  # both mults kept
+
+    def test_q_criterion_s1_s3_not_merged(self):
+        # s_1 = 0.5*(du[1] + dv[0]) and s_3 = 0.5*(dv[0] + du[1]) stay
+        # distinct, which is what makes Table II's 57 kernels come out.
+        spec = eliminate_common_subexpressions(
+            lower(parse(Q_CRITERION))[0])
+        assert n_filters(spec) == 66  # 57 kernel filters + 9 decomposes
+
+
+class TestCommutativeExtension:
+    def test_commutative_merges_swapped_operands(self):
+        spec = build("a = (u * v) + (v * u)", commutative=True)
+        assert n_filters(spec) == 2
+
+    def test_non_commutative_ops_untouched(self):
+        spec = build("a = (u - v) + (v - u)", commutative=True)
+        assert n_filters(spec) == 3
+
+    def test_q_criterion_shrinks(self):
+        base = eliminate_common_subexpressions(
+            lower(parse(Q_CRITERION))[0])
+        stronger = eliminate_common_subexpressions(
+            lower(parse(Q_CRITERION))[0], commutative=True)
+        assert n_filters(stronger) < n_filters(base)
+
+    def test_results_still_valid_network(self):
+        spec = build(Q_CRITERION, commutative=True)
+        net = Network(spec)
+        assert net.n_filters() > 0

@@ -1,0 +1,215 @@
+"""Unit tests for the expression-language parser (repro.expr.parser)."""
+
+import pytest
+
+from repro.errors import ExpressionError, LexError, ParseError
+from repro.expr import ast, parse, parser_diagnostics
+from repro.analysis.vortex import (Q_CRITERION, VELOCITY_MAGNITUDE,
+                                   VORTICITY_MAGNITUDE)
+
+
+class TestBasicStatements:
+    def test_simple_assignment(self):
+        program = parse("a = b")
+        assert program.result_name == "a"
+        (stmt,) = program.statements
+        assert stmt.expr == ast.Ident("b")
+
+    def test_number_assignment(self):
+        program = parse("a = 2.5")
+        assert program.statements[0].expr == ast.Num(2.5)
+
+    def test_scientific_notation(self):
+        assert parse("a = 1e3").statements[0].expr == ast.Num(1000.0)
+        assert parse("a = 2.5E-2").statements[0].expr == ast.Num(0.025)
+
+    def test_multiple_statements_newline_separated(self):
+        program = parse("a = 1\nb = a")
+        assert [s.name for s in program.statements] == ["a", "b"]
+        assert program.result_name == "b"
+
+    def test_statements_without_separators(self):
+        # statement boundaries are inferable: `expr IDENT` is never valid
+        program = parse("a = 1 b = 2")
+        assert [s.name for s in program.statements] == ["a", "b"]
+
+    def test_semicolons_allowed(self):
+        program = parse("a = 1; b = 2;")
+        assert len(program.statements) == 2
+
+    def test_comments_ignored(self):
+        program = parse("# leading comment\na = 1 # trailing\n")
+        assert len(program.statements) == 1
+
+
+class TestOperators:
+    def test_binary_ops(self):
+        for op in "+-*/":
+            expr = parse(f"a = b {op} c").statements[0].expr
+            assert isinstance(expr, ast.BinOp)
+            assert expr.op == op
+
+    def test_precedence(self):
+        expr = parse("a = b + c * d").statements[0].expr
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp)
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse("a = b - c - d").statements[0].expr
+        assert expr.op == "-"
+        assert isinstance(expr.left, ast.BinOp)
+
+    def test_parentheses(self):
+        expr = parse("a = (b + c) * d").statements[0].expr
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.BinOp)
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = parse("a = -b").statements[0].expr
+        assert expr == ast.UnaryOp("-", ast.Ident("b"))
+
+    def test_unary_minus_binds_tighter_than_mul(self):
+        expr = parse("a = -b * c").statements[0].expr
+        assert isinstance(expr, ast.BinOp) and expr.op == "*"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_double_negation(self):
+        expr = parse("a = --b").statements[0].expr
+        assert isinstance(expr.operand, ast.UnaryOp)
+
+    @pytest.mark.parametrize("op", ["<", ">", "<=", ">=", "==", "!="])
+    def test_comparisons(self, op):
+        expr = parse(f"a = b {op} c").statements[0].expr
+        assert isinstance(expr, ast.Compare)
+        assert expr.op == op
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        expr = parse("a = b + c > d * e").statements[0].expr
+        assert isinstance(expr, ast.Compare)
+        assert isinstance(expr.left, ast.BinOp)
+        assert isinstance(expr.right, ast.BinOp)
+
+
+class TestCallsAndIndexing:
+    def test_call_single_arg(self):
+        expr = parse("a = sqrt(b)").statements[0].expr
+        assert expr == ast.Call("sqrt", (ast.Ident("b"),))
+
+    def test_call_multiple_args(self):
+        expr = parse("a = grad3d(u, dims, x, y, z)").statements[0].expr
+        assert expr.name == "grad3d"
+        assert len(expr.args) == 5
+
+    def test_nested_calls(self):
+        expr = parse("a = sqrt(sqrt(b))").statements[0].expr
+        assert isinstance(expr.args[0], ast.Call)
+
+    def test_call_with_expression_args(self):
+        expr = parse("a = max(b + 1, c * 2)").statements[0].expr
+        assert all(isinstance(arg, ast.BinOp) for arg in expr.args)
+
+    def test_index(self):
+        expr = parse("a = du[1]").statements[0].expr
+        assert expr == ast.Index(ast.Ident("du"), 1)
+
+    def test_index_of_call(self):
+        expr = parse("a = grad3d(u,d,x,y,z)[2]").statements[0].expr
+        assert isinstance(expr.base, ast.Call)
+        assert expr.component == 2
+
+    def test_chained_index(self):
+        expr = parse("a = m[0][1]").statements[0].expr
+        assert expr.component == 1
+        assert isinstance(expr.base, ast.Index)
+
+    def test_non_integer_index_rejected(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse("a = du[1.5]")
+
+
+class TestConditional:
+    def test_if_then_else(self):
+        expr = parse("a = if (b > 10) then (c) else (d)").statements[0].expr
+        assert isinstance(expr, ast.IfExpr)
+        assert isinstance(expr.cond, ast.Compare)
+
+    def test_paper_intro_example(self):
+        text = ("a = if (norm(grad(b, dims, x, y, z)) > 10) "
+                "then (c * c) else (-c * c)")
+        expr = parse(text).statements[0].expr
+        assert isinstance(expr, ast.IfExpr)
+        assert isinstance(expr.then, ast.BinOp)
+        assert isinstance(expr.otherwise, ast.BinOp)
+
+    def test_nested_conditionals(self):
+        expr = parse(
+            "a = if (x > 0) then (if (y > 0) then (1) else (2)) else (3)"
+        ).statements[0].expr
+        assert isinstance(expr.then, ast.IfExpr)
+
+
+class TestPaperExpressions:
+    def test_velocity_magnitude(self):
+        program = parse(VELOCITY_MAGNITUDE)
+        assert program.result_name == "v_mag"
+
+    def test_vorticity_magnitude(self):
+        program = parse(VORTICITY_MAGNITUDE)
+        assert program.result_name == "w_mag"
+        assert len(program.statements) == 7
+
+    def test_q_criterion(self):
+        program = parse(Q_CRITERION)
+        assert program.result_name == "q_crit"
+        assert len(program.statements) == 18
+
+    def test_multiline_continuation(self):
+        # s_norm spans three physical lines ending in '+'
+        program = parse("a = b +\n    c +\n    d")
+        expr = program.statements[0].expr
+        assert isinstance(expr, ast.BinOp)
+
+
+class TestErrors:
+    def test_empty_expression(self):
+        with pytest.raises(ExpressionError):
+            parse("")
+        with pytest.raises(ExpressionError):
+            parse("   \n ")
+
+    def test_bare_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse("a + b")
+
+    def test_missing_rhs(self):
+        with pytest.raises(ParseError):
+            parse("a =")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse("a = (b + c")
+
+    def test_illegal_character(self):
+        with pytest.raises(LexError):
+            parse("a = b @ c")
+
+    def test_chained_comparison_rejected(self):
+        # comparisons are nonassociative, as in yacc
+        with pytest.raises(ParseError):
+            parse("a = b < c < d")
+
+
+class TestDiagnostics:
+    def test_grammar_is_conflict_free(self):
+        assert parser_diagnostics()["conflicts"] == []
+
+    def test_precedence_did_real_work(self):
+        assert parser_diagnostics()["precedence_resolutions"] > 0
+
+    def test_ast_walk_covers_all_nodes(self):
+        program = parse("a = if (b > 1) then (sqrt(c[0])) else (-d)")
+        kinds = {type(n).__name__ for n in ast.walk(program)}
+        assert kinds >= {"Program", "Assign", "IfExpr", "Compare", "Call",
+                         "Index", "UnaryOp", "Ident", "Num"}

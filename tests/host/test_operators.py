@@ -1,0 +1,117 @@
+"""Tests for the extra pipeline operators (threshold, slice, statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.vortex import Q_CRITERION
+from repro.errors import HostInterfaceError
+from repro.host.visitsim import (GlobalArrayReader, Pipeline,
+                                 PythonExpressionFilter,
+                                 RectilinearDataset, SliceFilter,
+                                 StatisticsFilter, ThresholdFilter)
+from repro.workloads import SubGrid, make_fields
+
+
+@pytest.fixture
+def dataset(small_fields):
+    return RectilinearDataset(
+        x=small_fields["x"], y=small_fields["y"], z=small_fields["z"],
+        cell_fields={"u": small_fields["u"], "v": small_fields["v"],
+                     "w": small_fields["w"]})
+
+
+class TestThreshold:
+    def test_masks_out_of_range(self, dataset):
+        out = ThresholdFilter("u", lower=0.0).execute(dataset)
+        u = out.field("u")
+        original = dataset.field("u")
+        assert np.isnan(u[original < 0]).all()
+        np.testing.assert_array_equal(u[original >= 0],
+                                      original[original >= 0])
+
+    def test_custom_fill_and_targets(self, dataset):
+        out = ThresholdFilter("u", lower=0.0, fill=-999.0,
+                              apply_to=("v",)).execute(dataset)
+        v = out.field("v")
+        assert (v[dataset.field("u") < 0] == -999.0).all()
+        # u itself untouched when apply_to excludes it
+        np.testing.assert_array_equal(out.field("u"), dataset.field("u"))
+
+    def test_source_dataset_unmodified(self, dataset):
+        before = dataset.field("u").copy()
+        ThresholdFilter("u", lower=0.0).execute(dataset)
+        np.testing.assert_array_equal(dataset.field("u"), before)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(HostInterfaceError, match="empty"):
+            ThresholdFilter("u", lower=1.0, upper=0.0)
+
+    def test_contract_requests_field(self):
+        assert ThresholdFilter("q").contract().fields == {"q"}
+
+
+class TestSlice:
+    def test_slab_extraction(self, dataset):
+        out = SliceFilter(axis=2, index=3, width=2).execute(dataset)
+        ni, nj, _ = dataset.dims
+        assert out.dims == (ni, nj, 2)
+        np.testing.assert_array_equal(
+            out.field3d("u"), dataset.field3d("u")[:, :, 3:5])
+        np.testing.assert_array_equal(out.z, dataset.z[3:6])
+
+    def test_width_clipped_at_end(self, dataset):
+        nk = dataset.dims[2]
+        out = SliceFilter(axis=2, index=nk - 1, width=5).execute(dataset)
+        assert out.dims[2] == 1
+
+    def test_bad_axis_and_index(self, dataset):
+        with pytest.raises(HostInterfaceError):
+            SliceFilter(axis=5, index=0)
+        with pytest.raises(HostInterfaceError, match="out of range"):
+            SliceFilter(axis=0, index=99).execute(dataset)
+
+
+class TestStatistics:
+    def test_records_history(self, dataset):
+        stats = StatisticsFilter("u", "v")
+        stats.execute(dataset)
+        stats.execute(dataset)
+        assert len(stats.history) == 2
+        snapshot = stats.history[0]
+        assert set(snapshot) == {"u", "v"}
+        u = dataset.field("u")
+        assert snapshot["u"].minimum == pytest.approx(u.min())
+        assert snapshot["u"].positive_fraction == pytest.approx(
+            (u > 0).mean())
+
+    def test_ignores_nan(self, dataset):
+        masked = ThresholdFilter("u", lower=0.0).execute(dataset)
+        stats = StatisticsFilter("u")
+        stats.execute(masked)
+        assert stats.history[0]["u"].minimum >= 0.0
+
+    def test_all_nan_rejected(self, dataset):
+        masked = ThresholdFilter("u", lower=1e9).execute(dataset)
+        with pytest.raises(HostInterfaceError, match="finite"):
+            StatisticsFilter("u").execute(masked)
+
+
+class TestComposedPipeline:
+    def test_vortex_extraction_pipeline(self, small_fields, dataset):
+        """The full analysis chain: derive Q, threshold to vortex cores,
+        query statistics, slice for rendering."""
+        stats = StatisticsFilter("q_crit")
+        pipeline = Pipeline(
+            GlobalArrayReader(lambda t: dataset),
+            [PythonExpressionFilter(Q_CRITERION),
+             ThresholdFilter("q_crit", lower=0.0),
+             stats,
+             SliceFilter(axis=2, index=2)])
+        result = pipeline.execute(0)
+        assert result.dims[2] == 1
+        q = result.field("q_crit")
+        finite = q[np.isfinite(q)]
+        assert (finite >= 0).all()          # threshold applied
+        assert stats.history[0]["q_crit"].positive_fraction >= 0.99
+        # merged contract carried the ghost request upstream
+        assert pipeline.contract().ghost_zones

@@ -1,0 +1,75 @@
+"""Tests for PPM output and the core facade / error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (CLError, CLOutOfMemoryError, ExpressionError,
+                          HostInterfaceError, LexError, NetworkError,
+                          ParseError, ReproError, StrategyError)
+from repro.host.visitsim import save_ppm
+
+
+class TestSavePPM:
+    def test_round_trip(self, tmp_path):
+        image = np.arange(2 * 3 * 3, dtype=np.uint8).reshape(2, 3, 3)
+        path = tmp_path / "img.ppm"
+        save_ppm(image, path)
+        data = path.read_bytes()
+        header = b"P6\n3 2\n255\n"
+        assert data.startswith(header)
+        np.testing.assert_array_equal(
+            np.frombuffer(data[len(header):], np.uint8).reshape(2, 3, 3),
+            image)
+
+    def test_bad_shape_rejected(self, tmp_path):
+        with pytest.raises(HostInterfaceError):
+            save_ppm(np.zeros((4, 4), np.uint8), tmp_path / "x.ppm")
+
+    def test_bad_dtype_rejected(self, tmp_path):
+        with pytest.raises(HostInterfaceError):
+            save_ppm(np.zeros((4, 4, 3)), tmp_path / "x.ppm")
+
+
+class TestCoreFacade:
+    def test_facade_exports(self):
+        from repro import core
+        assert callable(core.derive)
+        assert callable(core.parse)
+        assert core.DEFAULT_REGISTRY is not None
+
+    def test_facade_derive_works(self):
+        from repro.core import derive
+        out = derive("a = u * u", {"u": np.arange(3.0)})
+        np.testing.assert_array_equal(out["a"], [0.0, 1.0, 4.0])
+
+    def test_top_level_lazy_attributes(self):
+        import repro
+        assert callable(repro.derive)
+        assert repro.DerivedFieldEngine is not None
+        with pytest.raises(AttributeError):
+            repro.nonexistent_thing
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ExpressionError, LexError, ParseError, NetworkError, CLError,
+        CLOutOfMemoryError, StrategyError, HostInterfaceError])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_lex_error_carries_position(self):
+        err = LexError("bad", position=5, line=2)
+        assert (err.position, err.line) == (5, 2)
+
+    def test_oom_carries_sizes(self):
+        err = CLOutOfMemoryError("full", requested=100, available=10)
+        assert err.requested == 100 and err.available == 10
+
+    def test_single_except_catches_everything(self):
+        import repro
+        try:
+            repro.derive("a = ", {"u": np.ones(2)})
+        except ReproError:
+            pass  # ParseError caught through the base class
+        else:  # pragma: no cover
+            pytest.fail("expected a ReproError")

@@ -1,0 +1,237 @@
+"""Tests for the miniature VisIt host: datasets, ghost zones, contracts,
+pipeline caching, the Python Expression filter, and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import vortex
+from repro.errors import HostInterfaceError
+from repro.host.visitsim import (BlockExtent, Contract, GlobalArrayReader,
+                                 Pipeline, PythonExpressionFilter,
+                                 RectilinearDataset, colormap, decompose,
+                                 extract_block, pseudocolor)
+
+
+@pytest.fixture
+def global_ds(small_fields, small_grid):
+    return RectilinearDataset(
+        x=small_fields["x"], y=small_fields["y"], z=small_fields["z"],
+        cell_fields={"u": small_fields["u"], "v": small_fields["v"],
+                     "w": small_fields["w"]})
+
+
+class TestDataset:
+    def test_dims_from_coords(self, global_ds, small_grid):
+        assert global_ds.dims == small_grid.dims
+        assert global_ds.n_cells == small_grid.n_cells
+
+    def test_field_access(self, global_ds):
+        assert global_ds.field("u").shape == (global_ds.n_cells,)
+        assert global_ds.field3d("u").shape == global_ds.dims
+
+    def test_missing_field_rejected(self, global_ds):
+        with pytest.raises(HostInterfaceError, match="no cell field"):
+            global_ds.field("pressure")
+
+    def test_add_field_size_checked(self, global_ds):
+        with pytest.raises(HostInterfaceError, match="values"):
+            global_ds.add_field("bad", np.zeros(3))
+
+    def test_mesh_arrays(self, global_ds):
+        mesh = global_ds.mesh_arrays()
+        assert mesh["dims"].tolist() == list(global_ds.dims)
+        assert len(mesh["x"]) == global_ds.dims[0] + 1
+
+    def test_with_fields_copies(self, global_ds):
+        out = global_ds.with_fields({"q": np.zeros(global_ds.n_cells)})
+        assert "q" in out.cell_fields and "q" not in global_ds.cell_fields
+
+
+class TestDecomposition:
+    def test_decompose_counts(self):
+        blocks = decompose((8, 8, 12), (4, 4, 6))
+        assert len(blocks) == 8
+        assert all(b.n_cells == 96 for b in blocks)
+
+    def test_uneven_decomposition_rejected(self):
+        with pytest.raises(HostInterfaceError, match="evenly"):
+            decompose((10, 8, 8), (4, 4, 4))
+
+    def test_blocks_tile_domain(self):
+        blocks = decompose((4, 4, 4), (2, 2, 2))
+        covered = np.zeros((4, 4, 4), dtype=int)
+        for b in blocks:
+            (i, j, k), (bi, bj, bk) = b.lo, b.dims
+            covered[i:i + bi, j:j + bj, k:k + bk] += 1
+        assert (covered == 1).all()
+
+
+class TestGhostZones:
+    def test_interior_block_gets_ghost_on_all_faces(self, small_fields):
+        ds = RectilinearDataset(
+            x=np.linspace(0, 1, 7), y=np.linspace(0, 1, 7),
+            z=np.linspace(0, 1, 7),
+            cell_fields={"f": np.arange(216.0)})
+        block = extract_block(ds, BlockExtent((2, 2, 2), (2, 2, 2)),
+                              ghost_width=1)
+        assert block.ghost_lo == (1, 1, 1)
+        assert block.ghost_hi == (1, 1, 1)
+        assert block.dims == (4, 4, 4)
+
+    def test_corner_block_truncates_ghost(self):
+        ds = RectilinearDataset(
+            x=np.linspace(0, 1, 5), y=np.linspace(0, 1, 5),
+            z=np.linspace(0, 1, 5),
+            cell_fields={"f": np.arange(64.0)})
+        block = extract_block(ds, BlockExtent((0, 0, 0), (2, 2, 2)),
+                              ghost_width=1)
+        assert block.ghost_lo == (0, 0, 0)
+        assert block.ghost_hi == (1, 1, 1)
+
+    def test_ghost_values_match_neighbours(self):
+        ds = RectilinearDataset(
+            x=np.linspace(0, 1, 5), y=np.linspace(0, 1, 5),
+            z=np.linspace(0, 1, 5),
+            cell_fields={"f": np.arange(64.0)})
+        block = extract_block(ds, BlockExtent((2, 0, 0), (2, 4, 4)),
+                              ghost_width=1)
+        np.testing.assert_array_equal(
+            block.field3d("f")[0], ds.field3d("f")[1])
+
+    def test_strip_ghost_restores_interior(self):
+        ds = RectilinearDataset(
+            x=np.linspace(0, 1, 7), y=np.linspace(0, 1, 7),
+            z=np.linspace(0, 1, 7),
+            cell_fields={"f": np.arange(216.0)})
+        extent = BlockExtent((2, 2, 2), (2, 2, 2))
+        block = extract_block(ds, extent, ghost_width=1).strip_ghost()
+        assert block.dims == (2, 2, 2)
+        np.testing.assert_array_equal(
+            block.field3d("f"),
+            ds.field3d("f")[2:4, 2:4, 2:4])
+
+    def test_strip_ghost_noop_without_ghost(self, global_ds):
+        assert global_ds.strip_ghost() is global_ds
+
+
+class TestContracts:
+    def test_merge(self):
+        a = Contract(fields=frozenset({"u"}), ghost_zones=False)
+        b = Contract(fields=frozenset({"v"}), ghost_zones=True,
+                     ghost_width=1)
+        merged = a.merge(b)
+        assert merged.fields == {"u", "v"}
+        assert merged.ghost_zones and merged.ghost_width == 1
+
+    def test_expression_filter_requests_ghost_for_gradients(self):
+        assert PythonExpressionFilter(
+            vortex.Q_CRITERION).contract().ghost_zones
+
+    def test_no_ghost_for_pointwise_expressions(self):
+        contract = PythonExpressionFilter(
+            vortex.VELOCITY_MAGNITUDE).contract()
+        assert not contract.ghost_zones
+        assert contract.fields == {"u", "v", "w"}
+
+
+class TestPipeline:
+    def make(self, global_ds, expression=vortex.VELOCITY_MAGNITUDE,
+             extent=None):
+        reader = GlobalArrayReader(lambda t: global_ds, extent=extent)
+        return Pipeline(reader, [PythonExpressionFilter(expression)])
+
+    def test_executes_and_attaches_field(self, global_ds):
+        pipe = self.make(global_ds)
+        result = pipe.execute(0)
+        expected = vortex.velocity_magnitude_reference(
+            global_ds.field("u"), global_ds.field("v"),
+            global_ds.field("w"))
+        np.testing.assert_allclose(result.field("v_mag"), expected)
+
+    def test_execution_cached_per_timestep(self, global_ds):
+        pipe = self.make(global_ds)
+        pipe.execute(0)
+        pipe.execute(0)
+        assert pipe.executions == 1
+        pipe.execute(1)
+        assert pipe.executions == 2
+
+    def test_invalidate_forces_reexecution(self, global_ds):
+        pipe = self.make(global_ds)
+        pipe.execute(0)
+        pipe.invalidate()
+        pipe.execute(0)
+        assert pipe.executions == 2
+
+    def test_missing_field_surfaces_cleanly(self, global_ds):
+        del global_ds.cell_fields["w"]
+        pipe = self.make(global_ds)
+        with pytest.raises(HostInterfaceError, match="cannot supply"):
+            pipe.execute(0)
+
+    def test_block_pipeline_matches_global(self, global_ds):
+        """Ghosted block execution of Q-criterion equals the global
+        computation on the block's interior — the Fig 7 correctness
+        property."""
+        extent = BlockExtent((0, 0, 0), (3, 7, 8))
+        pipe = self.make(global_ds, vortex.Q_CRITERION, extent)
+        result = pipe.execute(0).strip_ghost()
+        full = vortex.q_criterion_reference(
+            global_ds.field("u"), global_ds.field("v"),
+            global_ds.field("w"),
+            np.asarray(global_ds.dims, np.int32),
+            global_ds.x, global_ds.y, global_ds.z)
+        np.testing.assert_allclose(
+            result.field3d("q_crit"),
+            full.reshape(global_ds.dims)[0:3], rtol=1e-12, atol=1e-12)
+
+
+class TestRender:
+    def test_colormap_bounds(self):
+        rgb = colormap(np.array([0.0, 0.5, 1.0]))
+        assert rgb.dtype == np.uint8
+        assert rgb.shape == (3, 3)
+
+    def test_colormap_clips(self):
+        rgb = colormap(np.array([-1.0, 2.0]))
+        np.testing.assert_array_equal(rgb[0], colormap(np.zeros(1))[0])
+        np.testing.assert_array_equal(rgb[1], colormap(np.ones(1))[0])
+
+    def test_pseudocolor_shapes(self, global_ds):
+        for axis, shape in [(0, (7, 8)), (1, (6, 8)), (2, (6, 7))]:
+            img = pseudocolor(global_ds, "u", axis=axis)
+            assert img.shape == shape + (3,)
+
+    def test_pseudocolor_bad_axis(self, global_ds):
+        with pytest.raises(HostInterfaceError):
+            pseudocolor(global_ds, "u", axis=3)
+
+    def test_pseudocolor_bad_index(self, global_ds):
+        with pytest.raises(HostInterfaceError, match="out of range"):
+            pseudocolor(global_ds, "u", axis=2, index=99)
+
+    def test_render_through_pipeline_reuses_execution(self, global_ds):
+        reader = GlobalArrayReader(lambda t: global_ds)
+        pipe = Pipeline(reader,
+                        [PythonExpressionFilter(vortex.VELOCITY_MAGNITUDE)])
+        pipe.render(0, field="v_mag", axis=0)
+        pipe.render(0, field="v_mag", axis=1)
+        assert pipe.executions == 1
+
+
+class TestNaNRendering:
+    from repro.host.visitsim import ThresholdFilter  # noqa: PLC0415
+
+    def test_colormap_maps_nan_to_floor(self):
+        rgb = colormap(np.array([np.nan, 0.0, 1.0]))
+        np.testing.assert_array_equal(rgb[0], rgb[1])
+
+    def test_pseudocolor_of_thresholded_field(self, global_ds):
+        masked = self.ThresholdFilter("u", lower=0.0).execute(global_ds)
+        img = pseudocolor(masked, "u", axis=2)
+        assert img.dtype == np.uint8
+
+    def test_all_nan_plane_renders_floor(self, global_ds):
+        masked = self.ThresholdFilter("u", lower=1e9).execute(global_ds)
+        img = pseudocolor(masked, "u", axis=2)
+        assert (img == img[0, 0]).all()

@@ -1,0 +1,169 @@
+"""Headline paper-reproduction assertions: the shape of every evaluation
+result (Sections V-A through V-D) must hold in the simulated system.
+
+These run the full-paper-scale sweeps through the dry-run planner, so they
+exercise exactly the code paths the benchmark harness reports from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.vortex import EXPRESSIONS
+from repro.clsim import GIB, NVIDIA_M2050_GPU
+from repro.experiments import gpu_success_rate, run_sweep
+from repro.workloads import TABLE1_SUBGRIDS
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep()
+
+
+def series(sweep, expression, device, executor):
+    rows = [r for r in sweep
+            if (r.expression, r.device, r.executor)
+            == (expression, device, executor)]
+    return sorted(rows, key=lambda r: r.n_cells)
+
+
+class TestFig5Runtime:
+    def test_cpu_completes_all_cases(self, sweep):
+        assert all(not r.failed for r in sweep if r.device == "cpu")
+
+    def test_gpu_completes_about_106_of_144(self, sweep):
+        ok, total = gpu_success_rate(sweep)
+        assert total == 144
+        # paper: 106 (73%); exact count depends on buffer padding, ghost
+        # conventions, and driver reservations we do not model — the
+        # study's conclusion holds for any close value
+        assert 95 <= ok <= 115
+
+    @pytest.mark.parametrize("expression", list(EXPRESSIONS))
+    @pytest.mark.parametrize("device", ["cpu", "gpu"])
+    def test_strategy_runtime_ordering(self, sweep, expression, device):
+        """fusion < staged < roundtrip wherever all three completed."""
+        fusion = series(sweep, expression, device, "fusion")
+        staged = series(sweep, expression, device, "staged")
+        rtrip = series(sweep, expression, device, "roundtrip")
+        compared = 0
+        for f, s, r in zip(fusion, staged, rtrip):
+            if f.failed or s.failed or r.failed:
+                continue
+            assert f.runtime < s.runtime < r.runtime
+            compared += 1
+        assert compared > 0
+
+    @pytest.mark.parametrize("expression", list(EXPRESSIONS))
+    def test_fusion_competitive_with_reference(self, sweep, expression):
+        """Fig 5's money result: fusion approaches the hand-written
+        kernel (within 15% modeled runtime on the GPU)."""
+        fusion = series(sweep, expression, "gpu", "fusion")
+        ref = series(sweep, expression, "gpu", "reference")
+        for f, r in zip(fusion, ref):
+            if f.failed or r.failed:
+                continue
+            assert f.runtime <= r.runtime * 1.15
+
+    def test_gpu_faster_or_on_par_with_cpu(self, sweep):
+        """Paper: 'The GPU ran faster or on-par with the CPU for all test
+        cases that the GPU executed successfully.'"""
+        for expression in EXPRESSIONS:
+            for executor in ("roundtrip", "staged", "fusion", "reference"):
+                cpu = series(sweep, expression, "cpu", executor)
+                gpu = series(sweep, expression, "gpu", executor)
+                for c, g in zip(cpu, gpu):
+                    if g.failed:
+                        continue
+                    assert g.runtime <= c.runtime * 1.05
+
+    def test_runtime_grows_with_data_size(self, sweep):
+        for expression in EXPRESSIONS:
+            rows = [r for r in series(sweep, expression, "cpu", "fusion")]
+            runtimes = [r.runtime for r in rows]
+            assert runtimes == sorted(runtimes)
+
+    def test_roundtrip_dominated_by_transfers(self, sweep):
+        """Section V-D: roundtrip's runtime is dominated by host-device
+        traffic."""
+        from repro.experiments.sweep import _plan_case
+        result = _plan_case("q_criterion", TABLE1_SUBGRIDS[0], "gpu",
+                            "roundtrip")
+        timing = result.timing
+        transfers = timing.host_to_device + timing.device_to_host
+        assert transfers > 2 * timing.kernel_exec
+
+
+class TestFig6Memory:
+    def test_memory_grows_linearly(self, sweep):
+        rows = series(sweep, "q_criterion", "cpu", "fusion")
+        mems = np.array([r.mem_high_water for r in rows], dtype=float)
+        cells = np.array([r.n_cells for r in rows], dtype=float)
+        ratio = mems / cells
+        assert ratio.std() / ratio.mean() < 0.01
+
+    def test_staged_has_steepest_slope(self, sweep):
+        for expression in ("vorticity_magnitude", "q_criterion"):
+            by_executor = {
+                executor: series(sweep, expression, "cpu", executor)[-1]
+                for executor in ("roundtrip", "staged", "fusion")}
+            assert by_executor["staged"].mem_high_water \
+                > by_executor["roundtrip"].mem_high_water \
+                > by_executor["fusion"].mem_high_water
+
+    def test_roundtrip_least_memory_for_velmag(self, sweep):
+        rows = {executor: series(sweep, "velocity_magnitude", "cpu",
+                                 executor)[-1]
+                for executor in ("roundtrip", "staged", "fusion",
+                                 "reference")}
+        least = min(rows.values(), key=lambda r: r.mem_high_water)
+        assert least.executor == "roundtrip"
+
+    def test_fusion_matches_reference_memory(self, sweep):
+        """'Both fusion and the OpenCL reference kernel showed the same
+        memory usage.'"""
+        for expression in EXPRESSIONS:
+            fusion = series(sweep, expression, "cpu", "fusion")
+            ref = series(sweep, expression, "cpu", "reference")
+            for f, r in zip(fusion, ref):
+                assert f.mem_high_water == r.mem_high_water
+
+    def test_failures_exactly_at_3gib_line(self, sweep):
+        """A GPU case fails iff the CPU twin's high-water mark (the true
+        requirement) exceeds the M2050's global memory."""
+        limit = NVIDIA_M2050_GPU.global_mem_bytes
+        for gpu_row in (r for r in sweep if r.device == "gpu"):
+            cpu_row = next(
+                r for r in sweep
+                if (r.expression, r.executor, r.grid, r.device)
+                == (gpu_row.expression, gpu_row.executor, gpu_row.grid,
+                    "cpu"))
+            assert gpu_row.failed == (cpu_row.mem_high_water > limit)
+
+
+class TestTable2Integration:
+    def test_counts_constant_across_sizes_and_devices(self, sweep):
+        """Table II counts are size- and device-independent (failed GPU
+        cases abort mid-execution, so only completed cases count)."""
+        for expression in EXPRESSIONS:
+            for executor in ("roundtrip", "staged", "fusion"):
+                triples = {(r.dev_writes, r.dev_reads, r.kernel_execs)
+                           for r in sweep
+                           if (r.expression, r.executor)
+                           == (expression, executor) and not r.failed}
+                assert len(triples) == 1
+
+
+class TestSectionVD:
+    def test_cpu_staged_beats_available_gpu_roundtrip(self, sweep):
+        """'the CPU using staged was faster than the available GPU
+        roundtrip option' — at sizes where GPU staged failed."""
+        found = False
+        for expression in ("vorticity_magnitude", "q_criterion"):
+            gpu_staged = series(sweep, expression, "gpu", "staged")
+            gpu_rtrip = series(sweep, expression, "gpu", "roundtrip")
+            cpu_staged = series(sweep, expression, "cpu", "staged")
+            for gs, gr, cs in zip(gpu_staged, gpu_rtrip, cpu_staged):
+                if gs.failed and not gr.failed:
+                    assert cs.runtime < gr.runtime
+                    found = True
+        assert found

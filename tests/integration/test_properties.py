@@ -1,0 +1,144 @@
+"""Cross-cutting property-based suites (hypothesis) on system invariants
+that span modules: CSE semantics, chunking reassembly, MPI collectives,
+timing/memory accounting, and the trace export."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clsim import CLEnvironment, Event, EventKind, EventLog
+from repro.dataflow import Network
+from repro.expr import eliminate_common_subexpressions, lower, parse
+from repro.host import DerivedFieldEngine
+from repro.par import run_world
+from repro.strategies import FusionStrategy
+from repro.strategies.chunking import (assemble, chunk_bindings,
+                                       discover_mesh, plan_chunks)
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+# --- CSE ---------------------------------------------------------------------
+
+@st.composite
+def small_programs(draw):
+    ops = ["+", "-", "*"]
+    terms = ["u", "v", "u", "v"]
+    n = draw(st.integers(2, 6))
+    expr = draw(st.sampled_from(terms))
+    for _ in range(n):
+        op = draw(st.sampled_from(ops))
+        term = draw(st.sampled_from(terms))
+        expr = f"({expr} {op} {term})"
+    return f"a = {expr} + {expr}"
+
+
+@given(small_programs())
+@settings(max_examples=40, deadline=None)
+def test_cse_is_idempotent(text):
+    spec, _ = lower(parse(text))
+    once = eliminate_common_subexpressions(spec)
+    twice = eliminate_common_subexpressions(once)
+    assert len(twice) == len(once)
+    assert [n.signature() for n in twice.nodes] \
+        == [n.signature() for n in once.nodes]
+
+
+@given(small_programs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_cse_preserves_semantics(text, seed):
+    rng = np.random.default_rng(seed)
+    fields = {"u": rng.standard_normal(16),
+              "v": rng.standard_normal(16)}
+    with_cse = DerivedFieldEngine(cse=True).derive(text, fields)
+    without = DerivedFieldEngine(cse=False).derive(text, fields)
+    np.testing.assert_allclose(with_cse, without, rtol=1e-12, atol=1e-12)
+
+
+@given(small_programs())
+@settings(max_examples=40, deadline=None)
+def test_cse_never_grows_the_network(text):
+    spec, _ = lower(parse(text))
+    optimized = eliminate_common_subexpressions(spec)
+    assert len(optimized) <= len(spec)
+    # and the output survives
+    assert Network(optimized).output_ids()
+
+
+# --- chunking ----------------------------------------------------------------
+
+@given(st.integers(2, 24), st.integers(2, 6), st.integers(2, 6),
+       st.integers(1, 8), st.integers(0, 2),
+       st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_chunk_assemble_identity(ni, nj, nk, n_chunks, halo, seed):
+    """Slicing any mesh into slabs (any count, any halo) and reassembling
+    the owned regions is the identity."""
+    rng = np.random.default_rng(seed)
+    n = ni * nj * nk
+    bindings = {
+        "f": rng.standard_normal(n),
+        "dims": np.array([ni, nj, nk], np.int32),
+        "x": np.linspace(0, 1, ni + 1),
+        "y": np.linspace(0, 1, nj + 1),
+        "z": np.linspace(0, 1, nk + 1),
+    }
+    layout = discover_mesh(bindings, n)
+    chunks = plan_chunks(layout, n_chunks, halo)
+    pieces = [(c, chunk_bindings(bindings, layout, c)["f"])
+              for c in chunks]
+    np.testing.assert_array_equal(assemble(pieces, layout), bindings["f"])
+
+
+# --- MPI collectives ----------------------------------------------------------
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_allreduce_equals_serial_reduction(values):
+    results = run_world(len(values),
+                        lambda comm: comm.allreduce(values[comm.rank]))
+    assert results == [sum(values)] * len(values)
+
+
+@given(st.lists(finite, min_size=1, max_size=5))
+@settings(max_examples=30, deadline=None)
+def test_allgather_is_identical_everywhere(values):
+    results = run_world(len(values),
+                        lambda comm: comm.allgather(values[comm.rank]))
+    assert all(r == values for r in results)
+
+
+# --- accounting invariants ------------------------------------------------------
+
+@given(st.integers(4, 64), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_memory_returns_to_zero_after_execution(n, seed):
+    """Every strategy must release every buffer: no leaks for any input."""
+    rng = np.random.default_rng(seed)
+    fields = {"u": rng.standard_normal(n), "v": rng.standard_normal(n)}
+    spec, _ = lower(parse("a = u * v + u"))
+    net = Network(eliminate_common_subexpressions(spec))
+    for strategy_name in ("roundtrip", "staged", "fusion"):
+        from repro.strategies import get_strategy
+        env = CLEnvironment("gpu")
+        get_strategy(strategy_name).execute(net, fields, env)
+        assert env.mem_in_use == 0, strategy_name
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from(list(EventKind)),
+              st.integers(0, 10**6),
+              st.floats(0, 1, allow_nan=False)),
+    max_size=20))
+def test_chrome_trace_is_gapless_and_ordered(entries):
+    log = EventLog()
+    for kind, nbytes, seconds in entries:
+        log.record(Event(kind, "e", nbytes, seconds))
+    trace = log.to_chrome_trace()
+    assert len(trace) == len(entries)
+    cursor = 0.0
+    for item in trace:
+        assert item["ts"] == cursor
+        cursor += item["dur"]
+    assert cursor == np.float64(log.sim_time() * 1e6) or \
+        abs(cursor - log.sim_time() * 1e6) < 1e-6 * max(1.0, cursor)

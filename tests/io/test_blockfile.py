@@ -1,0 +1,110 @@
+"""Tests for the block-file format."""
+
+import numpy as np
+import pytest
+
+from repro.io import (BlockFileError, read_blockfile, read_header,
+                      write_blockfile)
+
+
+@pytest.fixture
+def sample_arrays(rng):
+    return {
+        "u": rng.standard_normal(64),
+        "v": rng.standard_normal(64).astype(np.float32),
+        "dims": np.array([4, 4, 4], np.int32),
+        "grid": rng.standard_normal((4, 4, 4)),
+    }
+
+
+class TestRoundTrip:
+    def test_all_arrays(self, tmp_path, sample_arrays):
+        path = tmp_path / "block.dfgb"
+        nbytes = write_blockfile(path, sample_arrays, {"step": 3})
+        assert path.stat().st_size == nbytes
+        arrays, metadata = read_blockfile(path)
+        assert metadata == {"step": 3}
+        assert set(arrays) == set(sample_arrays)
+        for name in sample_arrays:
+            np.testing.assert_array_equal(arrays[name],
+                                          sample_arrays[name])
+            assert arrays[name].dtype == sample_arrays[name].dtype
+            assert arrays[name].shape == sample_arrays[name].shape
+
+    def test_selected_fields(self, tmp_path, sample_arrays):
+        path = tmp_path / "block.dfgb"
+        write_blockfile(path, sample_arrays)
+        arrays, _ = read_blockfile(path, fields=["u", "dims"])
+        assert set(arrays) == {"u", "dims"}
+
+    def test_mmap_mode(self, tmp_path, sample_arrays):
+        path = tmp_path / "block.dfgb"
+        write_blockfile(path, sample_arrays)
+        arrays, _ = read_blockfile(path, mmap=True)
+        np.testing.assert_array_equal(arrays["grid"],
+                                      sample_arrays["grid"])
+        assert isinstance(arrays["grid"], np.memmap)
+
+    def test_noncontiguous_input_normalized(self, tmp_path, rng):
+        transposed = rng.standard_normal((6, 4)).T  # F-order view
+        path = tmp_path / "block.dfgb"
+        write_blockfile(path, {"t": transposed})
+        arrays, _ = read_blockfile(path)
+        np.testing.assert_array_equal(arrays["t"], transposed)
+
+    def test_header_only_read(self, tmp_path, sample_arrays):
+        path = tmp_path / "block.dfgb"
+        write_blockfile(path, sample_arrays, {"note": "hi"})
+        header = read_header(path)
+        assert header["metadata"]["note"] == "hi"
+        assert {e["name"] for e in header["arrays"]} == set(sample_arrays)
+
+
+class TestErrors:
+    def test_empty_arrays_rejected(self, tmp_path):
+        with pytest.raises(BlockFileError, match="no arrays"):
+            write_blockfile(tmp_path / "x.dfgb", {})
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "x.dfgb"
+        path.write_bytes(b"NOPE" + b"\0" * 32)
+        with pytest.raises(BlockFileError, match="magic"):
+            read_header(path)
+
+    def test_truncated_prefix(self, tmp_path):
+        path = tmp_path / "x.dfgb"
+        path.write_bytes(b"DF")
+        with pytest.raises(BlockFileError, match="truncated"):
+            read_header(path)
+
+    def test_truncated_payload(self, tmp_path, sample_arrays):
+        path = tmp_path / "x.dfgb"
+        write_blockfile(path, sample_arrays)
+        data = path.read_bytes()
+        path.write_bytes(data[:-100])
+        with pytest.raises(BlockFileError, match="past end|truncated"):
+            read_blockfile(path)
+
+    def test_missing_field_request(self, tmp_path, sample_arrays):
+        path = tmp_path / "x.dfgb"
+        write_blockfile(path, sample_arrays)
+        with pytest.raises(BlockFileError, match="missing arrays"):
+            read_blockfile(path, fields=["pressure"])
+
+    def test_wrong_version(self, tmp_path, sample_arrays):
+        path = tmp_path / "x.dfgb"
+        write_blockfile(path, sample_arrays)
+        data = bytearray(path.read_bytes())
+        data[4] = 99  # bump version byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(BlockFileError, match="version"):
+            read_header(path)
+
+    def test_corrupt_header_json(self, tmp_path, sample_arrays):
+        path = tmp_path / "x.dfgb"
+        write_blockfile(path, sample_arrays)
+        data = bytearray(path.read_bytes())
+        data[16] = ord("!")  # the header's opening '{' follows the prefix
+        path.write_bytes(bytes(data))
+        with pytest.raises(BlockFileError):
+            read_header(path)

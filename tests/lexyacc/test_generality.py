@@ -1,0 +1,91 @@
+"""The parser toolkit is a general PLY substitute, not a one-grammar
+machine: build a miniature JSON parser with it and round-trip documents.
+
+This doubles as an integration test of lexer keywords, nested
+nonterminals, epsilon productions, and list-building actions.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lexyacc import (Grammar, LexerSpec, LRParser, Production,
+                           TokenRule, build_lexer)
+
+
+def make_json_parser():
+    rules = [
+        TokenRule("STRING", r'"(\\.|[^"\\])*"',
+                  lambda s: json.loads(s)),  # reuse escapes for brevity
+        TokenRule("NUMBER", r"-?\d+(\.\d+)?([eE][+-]?\d+)?", float),
+        TokenRule("IDENT", r"[a-z]+", str),
+        TokenRule("LBRACE", r"\{"), TokenRule("RBRACE", r"\}"),
+        TokenRule("LBRACKET", r"\["), TokenRule("RBRACKET", r"\]"),
+        TokenRule("COLON", r":"), TokenRule("COMMA", r","),
+    ]
+    lexer = build_lexer(LexerSpec(
+        rules, keywords={"true": "TRUE", "false": "FALSE",
+                         "null": "NULL"}))
+    prods = [
+        Production("value", ("STRING",)),
+        Production("value", ("NUMBER",)),
+        Production("value", ("TRUE",), lambda _: True),
+        Production("value", ("FALSE",), lambda _: False),
+        Production("value", ("NULL",), lambda _: None),
+        Production("value", ("object",)),
+        Production("value", ("array",)),
+
+        Production("object", ("LBRACE", "RBRACE"), lambda *_: {}),
+        Production("object", ("LBRACE", "members", "RBRACE"),
+                   lambda _l, members, _r: dict(members)),
+        Production("members", ("pair",), lambda pair: [pair]),
+        Production("members", ("members", "COMMA", "pair"),
+                   lambda members, _c, pair: members + [pair]),
+        Production("pair", ("STRING", "COLON", "value"),
+                   lambda key, _c, value: (key, value)),
+
+        Production("array", ("LBRACKET", "RBRACKET"), lambda *_: []),
+        Production("array", ("LBRACKET", "elements", "RBRACKET"),
+                   lambda _l, elements, _r: elements),
+        Production("elements", ("value",), lambda v: [v]),
+        Production("elements", ("elements", "COMMA", "value"),
+                   lambda elements, _c, v: elements + [v]),
+    ]
+    grammar = Grammar(prods, "value")
+    return lexer, LRParser(grammar)
+
+
+LEXER, PARSER = make_json_parser()
+
+
+def loads(text):
+    return PARSER.parse(LEXER.tokens(text))
+
+
+class TestMiniJSON:
+    def test_grammar_conflict_free(self):
+        assert PARSER.table.conflicts == []
+
+    @pytest.mark.parametrize("doc", [
+        "42", '"hello"', "true", "false", "null",
+        "[]", "{}", "[1, 2, 3]",
+        '{"a": 1}',
+        '{"a": {"b": [1, true, null, "x"]}, "c": -2.5e3}',
+        '[[[]]]',
+        '[{"k": []}, {"k": [0]}]',
+    ])
+    def test_round_trip_matches_stdlib(self, doc):
+        assert loads(doc) == json.loads(doc)
+
+    def test_nested_depth(self):
+        doc = "[" * 30 + "1" + "]" * 30
+        assert loads(doc) == json.loads(doc)
+
+    def test_syntax_errors(self):
+        for bad in ("[1, ]", "{1: 2}", '{"a" 1}', "[1 2]", "{", "]"):
+            with pytest.raises(ParseError):
+                loads(bad)
+
+    def test_whitespace_insensitive(self):
+        assert loads('  { "a" :\n [ 1 ,\t2 ] } ') == {"a": [1.0, 2.0]}

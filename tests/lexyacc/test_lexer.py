@@ -1,0 +1,118 @@
+"""Unit tests for the lexer generator (repro.lexyacc.lexer)."""
+
+import pytest
+
+from repro.errors import GrammarError, LexError
+from repro.lexyacc import LexerSpec, Token, TokenRule, build_lexer
+
+
+def make_lexer(**kwargs):
+    rules = [
+        TokenRule("NUMBER", r"\d+(\.\d+)?", float),
+        TokenRule("PLUS", r"\+"),
+        TokenRule("IDENT", r"[A-Za-z_]\w*", str),
+        TokenRule("COMMENT", r"#[^\n]*", lambda _: None),
+    ]
+    return build_lexer(LexerSpec(rules, **kwargs))
+
+
+class TestTokenization:
+    def test_single_number(self):
+        toks = make_lexer().scan("42")
+        assert toks == [Token("NUMBER", 42.0, 0, 1)]
+
+    def test_float_conversion(self):
+        (tok,) = make_lexer().scan("3.25")
+        assert tok.value == 3.25
+
+    def test_sequence(self):
+        types = [t.type for t in make_lexer().scan("a + 1")]
+        assert types == ["IDENT", "PLUS", "NUMBER"]
+
+    def test_whitespace_ignored(self):
+        assert len(make_lexer().scan("  a\t+\r1 ")) == 3
+
+    def test_newlines_tracked(self):
+        toks = make_lexer().scan("a\nb\n\nc")
+        assert [t.line for t in toks] == [1, 2, 4]
+
+    def test_positions(self):
+        toks = make_lexer().scan("ab + cd")
+        assert [t.pos for t in toks] == [0, 3, 5]
+
+    def test_empty_input(self):
+        assert make_lexer().scan("") == []
+
+    def test_only_whitespace(self):
+        assert make_lexer().scan("   \t  ") == []
+
+    def test_action_discards_token(self):
+        toks = make_lexer().scan("a # trailing comment")
+        assert [t.type for t in toks] == ["IDENT"]
+
+    def test_comment_then_newline(self):
+        toks = make_lexer().scan("a # c1\nb")
+        assert [t.value for t in toks] == ["a", "b"]
+        assert toks[1].line == 2
+
+    def test_identifier_with_underscore_digits(self):
+        (tok,) = make_lexer().scan("w_mag2")
+        assert tok.value == "w_mag2"
+
+    def test_tokens_is_lazy(self):
+        gen = make_lexer().tokens("a + 1")
+        assert next(gen).type == "IDENT"
+
+
+class TestKeywords:
+    def test_keyword_promotion(self):
+        lexer = make_lexer(keywords={"if": "IF"})
+        toks = lexer.scan("if x")
+        assert [t.type for t in toks] == ["IF", "IDENT"]
+
+    def test_keyword_prefix_not_promoted(self):
+        lexer = make_lexer(keywords={"if": "IF"})
+        (tok,) = lexer.scan("iffy")
+        assert tok.type == "IDENT"
+
+
+class TestErrors:
+    def test_illegal_character(self):
+        with pytest.raises(LexError) as err:
+            make_lexer().scan("a $ b")
+        assert "$" in str(err.value)
+        assert err.value.position == 2
+
+    def test_error_reports_line(self):
+        with pytest.raises(LexError) as err:
+            make_lexer().scan("a\nb\n$")
+        assert err.value.line == 3
+
+
+class TestSpecValidation:
+    def test_empty_rules_rejected(self):
+        with pytest.raises(GrammarError):
+            build_lexer(LexerSpec([]))
+
+    def test_bad_regex_rejected(self):
+        with pytest.raises(GrammarError, match="bad regex"):
+            build_lexer(LexerSpec([TokenRule("BAD", r"([")]))
+
+    def test_empty_match_rejected(self):
+        with pytest.raises(GrammarError, match="empty"):
+            build_lexer(LexerSpec([TokenRule("EMPTY", r"a*")]))
+
+    def test_lowercase_name_rejected(self):
+        with pytest.raises(GrammarError, match="UPPER_SNAKE_CASE"):
+            build_lexer(LexerSpec([TokenRule("bad", r"a")]))
+
+    def test_rule_order_first_match_wins(self):
+        # LE before LT: "<=" lexes as one token
+        spec = LexerSpec([TokenRule("LE", r"<="), TokenRule("LT", r"<")])
+        toks = build_lexer(spec).scan("<=<")
+        assert [t.type for t in toks] == ["LE", "LT"]
+
+    def test_token_names_includes_keywords(self):
+        spec = LexerSpec([TokenRule("IDENT", r"[a-z]+")],
+                         keywords={"if": "IF"})
+        assert spec.token_names() == {"IDENT", "IF"}

@@ -1,0 +1,153 @@
+"""Unit tests for LALR(1) table construction against textbook grammars."""
+
+import pytest
+
+from repro.lexyacc import (EOF, Grammar, LRItem, Precedence, Production,
+                           build_lalr_table)
+
+
+def table_for(prods, start, prec=()):
+    return build_lalr_table(Grammar(prods, start, prec))
+
+
+class TestCanonicalDragonGrammar:
+    """Dragon-book grammar 4.55: S -> L = R | R; L -> * R | id; R -> L.
+    This grammar is LALR(1) but NOT SLR(1) — a good discriminator that the
+    lookahead computation is real."""
+
+    def make(self):
+        return table_for([
+            Production("S", ("L", "=", "R")),
+            Production("S", ("R",)),
+            Production("L", ("*", "R")),
+            Production("L", ("id",)),
+            Production("R", ("L",)),
+        ], "S")
+
+    def test_no_conflicts(self):
+        assert self.make().conflicts == []
+
+    def test_state_count(self):
+        # the canonical construction yields 10 LALR states for this grammar
+        assert self.make().n_states == 10
+
+    def test_accept_present(self):
+        table = self.make()
+        accepts = [s for s in range(table.n_states)
+                   if table.action[s].get(EOF, ("", 0))[0] == "accept"]
+        assert len(accepts) == 1
+
+
+class TestExpressionGrammar:
+    """Unambiguous E -> E + T | T; T -> T * F | F; F -> ( E ) | id."""
+
+    def make(self):
+        return table_for([
+            Production("E", ("E", "+", "T")),
+            Production("E", ("T",)),
+            Production("T", ("T", "*", "F")),
+            Production("T", ("F",)),
+            Production("F", ("(", "E", ")")),
+            Production("F", ("id",)),
+        ], "E")
+
+    def test_no_conflicts(self):
+        table = self.make()
+        assert table.conflicts == []
+        assert table.resolutions == []
+
+    def test_dragon_state_count(self):
+        # the classic result: 12 states for this grammar
+        assert self.make().n_states == 12
+
+    def test_goto_filled(self):
+        table = self.make()
+        assert any("E" in row for row in table.goto)
+        assert any("T" in row for row in table.goto)
+
+
+class TestAmbiguousGrammarResolution:
+    def ambiguous(self, prec=()):
+        return table_for([
+            Production("E", ("E", "+", "E")),
+            Production("E", ("E", "*", "E")),
+            Production("E", ("id",)),
+        ], "E", prec)
+
+    def test_without_precedence_conflicts_recorded(self):
+        table = self.ambiguous()
+        assert len(table.conflicts) > 0
+        assert all(c.kind == "shift/reduce" for c in table.conflicts)
+
+    def test_default_resolution_is_shift(self):
+        for conflict in self.ambiguous().conflicts:
+            assert "shift" in conflict.resolution
+
+    def test_with_precedence_no_conflicts(self):
+        table = self.ambiguous(prec=[Precedence("left", ("+",)),
+                                     Precedence("left", ("*",))])
+        assert table.conflicts == []
+        assert len(table.resolutions) > 0
+
+    def test_nonassoc_removes_action(self):
+        table = table_for([
+            Production("E", ("E", "<", "E")),
+            Production("E", ("id",)),
+        ], "E", prec=[Precedence("nonassoc", ("<",))])
+        # the state after E < E must have no action on '<'
+        resolved = [c for c in table.resolutions if "error" in c.resolution]
+        assert resolved
+
+
+class TestReduceReduce:
+    def test_earlier_production_wins(self):
+        table = table_for([
+            Production("S", ("A",)),
+            Production("S", ("B",)),
+            Production("A", ("x",)),
+            Production("B", ("x",)),
+        ], "S")
+        rr = [c for c in table.conflicts if c.kind == "reduce/reduce"]
+        assert rr
+        # production 3 (A -> x) is kept over production 4 (B -> x)
+        assert "3" in rr[0].resolution
+
+
+class TestEpsilonProductions:
+    def test_optional_list(self):
+        # S -> items; items -> items x | (empty)
+        table = table_for([
+            Production("S", ("items",)),
+            Production("items", ("items", "x")),
+            Production("items", ()),
+        ], "S")
+        assert table.conflicts == []
+        # initial state must reduce the empty production on both x and EOF
+        reduce_entries = [
+            entry for entry in table.action[0].values()
+            if entry[0] == "reduce"]
+        assert reduce_entries
+
+
+class TestLRItem:
+    def test_describe(self):
+        grammar = Grammar([Production("S", ("a", "b"))], "S")
+        assert LRItem(1, 1).describe(grammar) == "S -> a . b"
+
+    def test_advance(self):
+        assert LRItem(1, 0).advance() == LRItem(1, 1)
+
+    def test_next_symbol_at_end(self):
+        grammar = Grammar([Production("S", ("a",))], "S")
+        assert LRItem(1, 1).next_symbol(grammar) is None
+
+
+class TestTableIntrospection:
+    def test_expected_tokens_sorted(self):
+        table = table_for([Production("S", ("a",)),
+                           Production("S", ("b",))], "S")
+        assert table.expected_tokens(0) == ["a", "b"]
+
+    def test_describe_state_mentions_items(self):
+        table = table_for([Production("S", ("a",))], "S")
+        assert "S' -> . S" in table.describe_state(0)

@@ -1,0 +1,108 @@
+"""Unit tests for the table-driven LR parser runtime."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lexyacc import (Grammar, LexerSpec, LRParser, Precedence,
+                           Production, Token, TokenRule, build_lexer)
+
+
+def calculator():
+    rules = [
+        TokenRule("NUMBER", r"\d+(\.\d+)?", float),
+        TokenRule("PLUS", r"\+"), TokenRule("MINUS", r"-"),
+        TokenRule("TIMES", r"\*"), TokenRule("DIVIDE", r"/"),
+        TokenRule("LPAREN", r"\("), TokenRule("RPAREN", r"\)"),
+    ]
+    lexer = build_lexer(LexerSpec(rules))
+    prods = [
+        Production("expr", ("expr", "PLUS", "expr"),
+                   lambda a, _, b: a + b),
+        Production("expr", ("expr", "MINUS", "expr"),
+                   lambda a, _, b: a - b),
+        Production("expr", ("expr", "TIMES", "expr"),
+                   lambda a, _, b: a * b),
+        Production("expr", ("expr", "DIVIDE", "expr"),
+                   lambda a, _, b: a / b),
+        Production("expr", ("MINUS", "expr"), lambda _, a: -a,
+                   prec="UMINUS"),
+        Production("expr", ("LPAREN", "expr", "RPAREN"),
+                   lambda _, a, __: a),
+        Production("expr", ("NUMBER",)),
+    ]
+    prec = [Precedence("left", ("PLUS", "MINUS")),
+            Precedence("left", ("TIMES", "DIVIDE")),
+            Precedence("right", ("UMINUS",))]
+    grammar = Grammar(prods, "expr", prec)
+    parser = LRParser(grammar)
+    return lexer, parser
+
+
+LEXER, PARSER = calculator()
+
+
+def evaluate(text):
+    return PARSER.parse(LEXER.tokens(text))
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("text,expected", [
+        ("1", 1.0),
+        ("1+2", 3.0),
+        ("2*3+4", 10.0),
+        ("2+3*4", 14.0),
+        ("(2+3)*4", 20.0),
+        ("2-3-4", -5.0),          # left associative
+        ("12/4/3", 1.0),          # left associative
+        ("-5", -5.0),
+        ("--5", 5.0),
+        ("-(2+3)*4", -20.0),
+        ("-2*3", -6.0),           # unary binds tighter than *
+        ("2*-3", -6.0),
+        ("1+2*3-4/2", 5.0),
+        ("((((7))))", 7.0),
+    ])
+    def test_expression(self, text, expected):
+        assert evaluate(text) == expected
+
+    def test_default_action_passes_single_value(self):
+        # Production("expr", ("NUMBER",)) has no action: value propagates
+        assert evaluate("42") == 42.0
+
+
+class TestErrors:
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError, match="syntax error"):
+            evaluate("1 + * 2")
+
+    def test_error_carries_token(self):
+        with pytest.raises(ParseError) as err:
+            evaluate("1 + + 2")
+        assert err.value.token is not None
+
+    def test_unexpected_eof(self):
+        with pytest.raises(ParseError, match="end of input"):
+            evaluate("1 +")
+
+    def test_error_lists_expected(self):
+        with pytest.raises(ParseError, match="expected one of"):
+            evaluate("1 2")
+
+    def test_empty_token_stream(self):
+        with pytest.raises(ParseError):
+            PARSER.parse(iter(()))
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            evaluate("1 )")
+
+
+class TestReuse:
+    def test_parser_is_reusable(self):
+        assert evaluate("1+1") == 2.0
+        assert evaluate("2+2") == 4.0
+
+    def test_accepts_manual_tokens(self):
+        toks = [Token("NUMBER", 5.0), Token("PLUS", "+"),
+                Token("NUMBER", 6.0)]
+        assert PARSER.parse(iter(toks)) == 11.0

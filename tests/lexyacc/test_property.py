@@ -1,0 +1,51 @@
+"""Property-based tests: the LALR calculator agrees with Python's own
+evaluator on randomly generated arithmetic expressions."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from tests.lexyacc.test_parser import evaluate
+
+
+@st.composite
+def arith_expr(draw, depth=0):
+    """Random arithmetic expression string plus its Python value."""
+    if depth > 4 or draw(st.booleans()):
+        value = draw(st.integers(min_value=0, max_value=50))
+        return str(value), float(value)
+    kind = draw(st.sampled_from(["+", "-", "*", "paren", "neg"]))
+    if kind == "paren":
+        text, value = draw(arith_expr(depth + 1))
+        return f"({text})", value
+    if kind == "neg":
+        text, value = draw(arith_expr(depth + 1))
+        return f"-({text})", -value
+    left_t, left_v = draw(arith_expr(depth + 1))
+    right_t, right_v = draw(arith_expr(depth + 1))
+    # Parenthesize operands so the generated string's value is structure-
+    # independent; precedence/associativity have their own directed tests.
+    text = f"({left_t}) {kind} ({right_t})"
+    value = {"+": left_v + right_v, "-": left_v - right_v,
+             "*": left_v * right_v}[kind]
+    return text, value
+
+
+@given(arith_expr())
+@settings(max_examples=200, deadline=None)
+def test_parser_matches_python_semantics(case):
+    text, expected = case
+    got = evaluate(text)
+    assert math.isclose(got, expected, rel_tol=1e-12, abs_tol=1e-12)
+
+
+@given(st.integers(min_value=0, max_value=9), st.integers(1, 9),
+       st.integers(1, 9))
+def test_left_associativity_of_subtraction(a, b, c):
+    assert evaluate(f"{a}-{b}-{c}") == float(a - b - c)
+
+
+@given(st.integers(0, 9), st.integers(0, 9), st.integers(0, 9))
+def test_precedence_mul_over_add(a, b, c):
+    assert evaluate(f"{a}+{b}*{c}") == float(a + b * c)
+    assert evaluate(f"{a}*{b}+{c}") == float(a * b + c)

@@ -1,0 +1,130 @@
+"""Unit tests for the simulated MPI world."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.par import World, run_world
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send("hello", dest=1)
+                return None
+            return comm.recv(source=0)
+
+        assert run_world(2, body) == [None, "hello"]
+
+    def test_ring_exchange(self):
+        def body(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(comm.rank, dest=right)
+            return comm.recv(source=left)
+
+        assert run_world(4, body) == [3, 0, 1, 2]
+
+    def test_tags_separate_channels(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert run_world(2, body)[1] == ("a", "b")
+
+    def test_sendrecv(self):
+        def body(comm):
+            other = 1 - comm.rank
+            return comm.sendrecv(comm.rank * 10, dest=other, source=other)
+
+        assert run_world(2, body) == [10, 0]
+
+    def test_bad_rank_rejected(self):
+        def body(comm):
+            comm.send("x", dest=5)
+
+        with pytest.raises(MPIError, match="out of range"):
+            run_world(2, body)
+
+    def test_recv_timeout_surfaces_deadlock(self):
+        def body(comm):
+            if comm.rank == 1:
+                return comm.recv(source=0, timeout=0.05)
+
+        with pytest.raises(MPIError, match="timed out"):
+            run_world(2, body)
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        assert run_world(4, lambda c: c.allreduce(c.rank + 1)) == [10] * 4
+
+    def test_allreduce_custom_op(self):
+        assert run_world(4, lambda c: c.allreduce(c.rank, max)) == [3] * 4
+
+    def test_allgather(self):
+        assert run_world(3, lambda c: c.allgather(c.rank ** 2)) \
+            == [[0, 1, 4]] * 3
+
+    def test_gather_only_root(self):
+        results = run_world(3, lambda c: c.gather(c.rank, root=1))
+        assert results[0] is None
+        assert results[1] == [0, 1, 2]
+        assert results[2] is None
+
+    def test_bcast(self):
+        def body(comm):
+            value = "payload" if comm.rank == 2 else None
+            return comm.bcast(value, root=2)
+
+        assert run_world(3, body) == ["payload"] * 3
+
+    def test_scatter(self):
+        def body(comm):
+            values = [10, 20, 30] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        assert run_world(3, body) == [10, 20, 30]
+
+    def test_scatter_wrong_length_rejected(self):
+        def body(comm):
+            values = [1] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        with pytest.raises(MPIError, match="exactly"):
+            run_world(2, body)
+
+    def test_consecutive_collectives(self):
+        def body(comm):
+            a = comm.allreduce(1)
+            b = comm.allreduce(2)
+            comm.barrier()
+            return (a, b)
+
+        assert run_world(3, body) == [(3, 6)] * 3
+
+    def test_single_rank_world(self):
+        assert run_world(1, lambda c: c.allreduce(5)) == [5]
+
+
+class TestWorld:
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(MPIError):
+            World(0)
+
+    def test_exception_propagates(self):
+        def body(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 exploded")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="rank 1 exploded"):
+            run_world(2, body)
+
+    def test_extra_args_passed(self):
+        assert run_world(2, lambda c, k: c.rank * k, 7) == [0, 7]

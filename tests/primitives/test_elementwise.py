@@ -1,0 +1,128 @@
+"""Unit tests for elementwise primitives: NumPy semantics and OpenCL
+source generation."""
+
+import numpy as np
+import pytest
+
+from repro.clsim.compiler import PREAMBLE, validate_source
+from repro.errors import PrimitiveError
+from repro.primitives import (ABS, ADD, DEFAULT_REGISTRY, DIV, EQ, EXP, GE,
+                              GT, LE, LOG, LT, MAX, MIN, MULT, NE, NEG, POW,
+                              SELECT, SQRT, SUB, VECTOR_WIDTH)
+
+
+@pytest.fixture
+def a():
+    return np.array([1.0, -2.0, 3.5, 0.25])
+
+
+@pytest.fixture
+def b():
+    return np.array([2.0, 2.0, -1.0, 0.5])
+
+
+class TestNumpySemantics:
+    def test_add(self, a, b):
+        np.testing.assert_array_equal(ADD.numpy_fn(a, b), a + b)
+
+    def test_sub(self, a, b):
+        np.testing.assert_array_equal(SUB.numpy_fn(a, b), a - b)
+
+    def test_mult(self, a, b):
+        np.testing.assert_array_equal(MULT.numpy_fn(a, b), a * b)
+
+    def test_div(self, a, b):
+        np.testing.assert_array_equal(DIV.numpy_fn(a, b), a / b)
+
+    def test_neg(self, a):
+        np.testing.assert_array_equal(NEG.numpy_fn(a), -a)
+
+    def test_sqrt(self):
+        x = np.array([0.0, 1.0, 4.0, 9.0])
+        np.testing.assert_array_equal(SQRT.numpy_fn(x), [0, 1, 2, 3])
+
+    def test_abs(self, a):
+        np.testing.assert_array_equal(ABS.numpy_fn(a), np.abs(a))
+
+    def test_min_max(self, a, b):
+        np.testing.assert_array_equal(MIN.numpy_fn(a, b), np.minimum(a, b))
+        np.testing.assert_array_equal(MAX.numpy_fn(a, b), np.maximum(a, b))
+
+    def test_pow(self):
+        np.testing.assert_allclose(
+            POW.numpy_fn(np.array([2.0, 3.0]), np.array([3.0, 2.0])),
+            [8.0, 9.0])
+
+    def test_exp_log_inverse(self, a):
+        np.testing.assert_allclose(LOG.numpy_fn(EXP.numpy_fn(a)), a)
+
+    @pytest.mark.parametrize("prim,op", [
+        (LT, np.less), (GT, np.greater), (LE, np.less_equal),
+        (GE, np.greater_equal), (EQ, np.equal), (NE, np.not_equal)])
+    def test_comparisons_produce_masks(self, prim, op, a, b):
+        got = prim.numpy_fn(a, b)
+        np.testing.assert_array_equal(got, op(a, b).astype(float))
+        assert got.dtype == np.float64
+
+    def test_select(self):
+        cond = np.array([1.0, 0.0, 1.0])
+        t = np.array([10.0, 20.0, 30.0])
+        f = np.array([-1.0, -2.0, -3.0])
+        np.testing.assert_array_equal(SELECT.numpy_fn(cond, t, f),
+                                      [10.0, -2.0, 30.0])
+
+    def test_broadcast_with_scalar_buffer(self, a):
+        # constants are single-element device buffers: broadcasting applies
+        np.testing.assert_array_equal(
+            MULT.numpy_fn(np.array([0.5]), a), 0.5 * a)
+
+
+class TestOpenCLSource:
+    @pytest.mark.parametrize("prim", [ADD, SUB, MULT, DIV, NEG, SQRT, ABS,
+                                      MIN, MAX, POW, EXP, LOG, LT, GT, LE,
+                                      GE, EQ, NE, SELECT])
+    @pytest.mark.parametrize("ctype", ["double", "float"])
+    def test_helper_renders_and_validates(self, prim, ctype):
+        args = ", ".join(
+            f"__global const {ctype}* a{i}" for i in range(prim.arity))
+        call = prim.render_call(
+            *[f"a{i}[gid]" for i in range(prim.arity)], T=ctype)
+        source = (PREAMBLE + prim.render_source(ctype) +
+                  f"\n__kernel void t({args}, __global {ctype}* out)\n"
+                  "{ const size_t gid = get_global_id(0); "
+                  f"out[gid] = {call}; }}")
+        assert validate_source(source) == ["t"]
+
+    def test_render_call_arity_checked(self):
+        with pytest.raises(PrimitiveError, match="operands"):
+            ADD.render_call("a")
+
+    def test_helper_type_substitution(self):
+        assert "inline float dfg_add(const float a, const float b)" in \
+            ADD.render_source("float")
+        assert "double" in ADD.render_source("double")
+
+
+class TestRegistry:
+    def test_default_registry_contents(self):
+        for name in ("add", "sub", "mult", "div", "sqrt", "decompose",
+                     "grad3d", "select", "vmag"):
+            assert name in DEFAULT_REGISTRY
+
+    def test_unknown_lookup(self):
+        with pytest.raises(PrimitiveError):
+            DEFAULT_REGISTRY.get("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.primitives import default_registry
+        registry = default_registry()
+        with pytest.raises(PrimitiveError, match="already registered"):
+            registry.register(ADD)
+
+    def test_names_sorted(self):
+        names = DEFAULT_REGISTRY.names()
+        assert names == sorted(names)
+
+    def test_commutativity_metadata(self):
+        assert ADD.commutative and MULT.commutative
+        assert not SUB.commutative and not DIV.commutative

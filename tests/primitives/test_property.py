@@ -1,0 +1,90 @@
+"""Property-based tests on primitive invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.primitives import (ADD, CROSS, DOT, MULT, SQRT, VECTOR_WIDTH,
+                              grad3d_numpy)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+fields = hnp.arrays(np.float64, st.integers(1, 40), elements=finite)
+
+
+@given(fields, fields)
+def test_add_commutes(a, b):
+    n = min(a.size, b.size)
+    np.testing.assert_array_equal(ADD.numpy_fn(a[:n], b[:n]),
+                                  ADD.numpy_fn(b[:n], a[:n]))
+
+
+@given(fields)
+def test_sqrt_of_square_is_abs(a):
+    np.testing.assert_allclose(SQRT.numpy_fn(MULT.numpy_fn(a, a)),
+                               np.abs(a), rtol=1e-9, atol=1e-12)
+
+
+@st.composite
+def vec_pairs(draw):
+    n = draw(st.integers(1, 20))
+    data = draw(hnp.arrays(np.float64, (2, n, 3), elements=finite))
+    a = np.zeros((n, VECTOR_WIDTH))
+    b = np.zeros((n, VECTOR_WIDTH))
+    a[:, :3], b[:, :3] = data[0], data[1]
+    return a, b
+
+
+@given(vec_pairs())
+def test_cross_orthogonal_to_operands(pair):
+    a, b = pair
+    c = CROSS.numpy_fn(a, b)
+    scale = 1.0 + np.abs(DOT.numpy_fn(a, a)) * np.abs(DOT.numpy_fn(b, b))
+    np.testing.assert_allclose(DOT.numpy_fn(a, c) / scale, 0.0, atol=1e-7)
+    np.testing.assert_allclose(DOT.numpy_fn(b, c) / scale, 0.0, atol=1e-7)
+
+
+@st.composite
+def mesh_and_coeffs(draw):
+    dims = tuple(draw(st.integers(2, 6)) for _ in range(3))
+    coeffs = tuple(draw(st.floats(-10, 10, allow_nan=False))
+                   for _ in range(3))
+    # strictly increasing random coordinates
+    def coords(n):
+        deltas = draw(hnp.arrays(
+            np.float64, n + 1,
+            elements=st.floats(0.05, 2.0, allow_nan=False)))
+        return np.concatenate([[0.0], np.cumsum(deltas)])[:n + 1]
+    return dims, coeffs, coords(dims[0]), coords(dims[1]), coords(dims[2])
+
+
+@given(mesh_and_coeffs())
+@settings(max_examples=50, deadline=None)
+def test_gradient_exact_for_linear_fields(case):
+    """Central + one-sided differencing w.r.t. cell centers reproduces the
+    gradient of any affine field exactly, on any rectilinear mesh."""
+    dims, coeffs, x, y, z = case
+    xc = 0.5 * (x[:-1] + x[1:])
+    yc = 0.5 * (y[:-1] + y[1:])
+    zc = 0.5 * (z[:-1] + z[1:])
+    X, Y, Z = np.meshgrid(xc, yc, zc, indexing="ij")
+    f = (coeffs[0] * X + coeffs[1] * Y + coeffs[2] * Z).ravel()
+    g = grad3d_numpy(f, dims, x, y, z)
+    scale = 1.0 + max(abs(c) for c in coeffs)
+    for axis in range(3):
+        np.testing.assert_allclose(g[:, axis] / scale,
+                                   coeffs[axis] / scale, atol=1e-8)
+
+
+@given(fields, st.floats(-100, 100, allow_nan=False))
+def test_gradient_linearity_in_field(a, scale):
+    """grad(s * f) == s * grad(f) for any field on a fixed mesh."""
+    n = 24
+    f = np.resize(a, n)
+    x = np.linspace(0, 1, 3)
+    y = np.linspace(0, 1, 4)
+    z = np.linspace(0, 2, 5)
+    g1 = grad3d_numpy(scale * f, (2, 3, 4), x, y, z)
+    g2 = scale * grad3d_numpy(f, (2, 3, 4), x, y, z)
+    np.testing.assert_allclose(g1, g2, rtol=1e-9, atol=1e-9)

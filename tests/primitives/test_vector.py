@@ -1,0 +1,86 @@
+"""Unit tests for vector primitives (decompose, vec3, dot, cross, vmag)."""
+
+import numpy as np
+import pytest
+
+from repro.primitives import (CROSS, DECOMPOSE, DOT, VEC3, VECTOR_WIDTH,
+                              VMAG)
+
+
+@pytest.fixture
+def vectors(rng):
+    a = np.zeros((5, VECTOR_WIDTH))
+    b = np.zeros((5, VECTOR_WIDTH))
+    a[:, :3] = rng.standard_normal((5, 3))
+    b[:, :3] = rng.standard_normal((5, 3))
+    return a, b
+
+
+class TestDecompose:
+    def test_selects_component(self, vectors):
+        a, _ = vectors
+        for component in range(VECTOR_WIDTH):
+            np.testing.assert_array_equal(
+                DECOMPOSE.numpy_fn(a, component), a[:, component])
+
+    def test_result_contiguous(self, vectors):
+        a, _ = vectors
+        assert DECOMPOSE.numpy_fn(a, 1).flags["C_CONTIGUOUS"]
+
+    def test_out_of_range_component(self, vectors):
+        a, _ = vectors
+        with pytest.raises(ValueError):
+            DECOMPOSE.numpy_fn(a, VECTOR_WIDTH)
+
+    def test_cl_call_uses_vector_component_syntax(self):
+        assert DECOMPOSE.render_call("val", component=2) == "(val).s2"
+
+
+class TestVec3:
+    def test_packs_components(self):
+        a, b, c = (np.array([1.0, 2.0]), np.array([3.0, 4.0]),
+                   np.array([5.0, 6.0]))
+        out = VEC3.numpy_fn(a, b, c)
+        assert out.shape == (2, VECTOR_WIDTH)
+        np.testing.assert_array_equal(out[:, 0], a)
+        np.testing.assert_array_equal(out[:, 3], 0.0)
+
+    def test_round_trip_with_decompose(self, rng):
+        a = rng.standard_normal(7)
+        out = VEC3.numpy_fn(a, a * 2, a * 3)
+        np.testing.assert_array_equal(DECOMPOSE.numpy_fn(out, 1), a * 2)
+
+
+class TestDotCrossMag:
+    def test_dot_matches_einsum(self, vectors):
+        a, b = vectors
+        np.testing.assert_allclose(
+            DOT.numpy_fn(a, b), (a[:, :3] * b[:, :3]).sum(axis=1))
+
+    def test_dot_ignores_pad_lane(self, vectors):
+        a, b = vectors
+        a2 = a.copy()
+        a2[:, 3] = 99.0
+        np.testing.assert_allclose(DOT.numpy_fn(a2, b), DOT.numpy_fn(a, b))
+
+    def test_cross_matches_numpy(self, vectors):
+        a, b = vectors
+        got = CROSS.numpy_fn(a, b)
+        np.testing.assert_allclose(got[:, :3],
+                                   np.cross(a[:, :3], b[:, :3]))
+        np.testing.assert_array_equal(got[:, 3], 0.0)
+
+    def test_cross_anticommutative(self, vectors):
+        a, b = vectors
+        np.testing.assert_allclose(CROSS.numpy_fn(a, b),
+                                   -CROSS.numpy_fn(b, a))
+
+    def test_vmag(self, vectors):
+        a, _ = vectors
+        np.testing.assert_allclose(
+            VMAG.numpy_fn(a), np.linalg.norm(a[:, :3], axis=1))
+
+    def test_vmag_of_cross_orthogonality(self, vectors):
+        a, b = vectors
+        c = CROSS.numpy_fn(a, b)
+        np.testing.assert_allclose(DOT.numpy_fn(a, c), 0.0, atol=1e-12)

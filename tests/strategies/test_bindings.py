@@ -1,0 +1,119 @@
+"""Unit tests for host-array bindings and problem sizing, plus
+vector-valued outputs and dtype coverage across strategies/backends."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StrategyError
+from repro.host import DerivedFieldEngine
+from repro.primitives import grad3d_numpy
+from repro.strategies import ArraySpec, normalize, problem_size
+from repro.strategies.bindings import Binding
+from repro.workloads import SubGrid, make_fields
+
+
+class TestNormalize:
+    def test_arrays_and_specs_mix(self):
+        out = normalize({"u": np.zeros(8),
+                         "v": ArraySpec((8,), np.float64)},
+                        ["u", "v"])
+        assert out["u"].data is not None
+        assert out["v"].data is None
+        assert out["u"].nbytes == out["v"].nbytes == 64
+
+    def test_missing_binding_rejected(self):
+        with pytest.raises(StrategyError, match="requires host array"):
+            normalize({"u": np.zeros(4)}, ["u", "v"])
+
+    def test_extra_bindings_ignored(self):
+        out = normalize({"u": np.zeros(4), "junk": np.zeros(9)}, ["u"])
+        assert set(out) == {"u"}
+
+
+class TestProblemSize:
+    def test_largest_float_source_wins(self):
+        bindings = normalize({
+            "u": np.zeros(100),
+            "x": np.zeros(11),
+            "dims": np.zeros(3, np.int32),
+        }, ["u", "x", "dims"])
+        n, dtype = problem_size(bindings)
+        assert n == 100 and dtype == np.float64
+
+    def test_no_float_source_rejected(self):
+        bindings = normalize({"dims": np.zeros(3, np.int32)}, ["dims"])
+        with pytest.raises(StrategyError, match="floating-point"):
+            problem_size(bindings)
+
+    def test_mixed_field_dtypes_rejected(self):
+        bindings = normalize({
+            "u": np.zeros(8, np.float32),
+            "v": np.zeros(8, np.float64),
+        }, ["u", "v"])
+        with pytest.raises(StrategyError, match="share one float dtype"):
+            problem_size(bindings)
+
+    def test_mixed_dtype_surfaces_through_engine(self):
+        engine = DerivedFieldEngine(strategy="staged")
+        with pytest.raises(StrategyError, match="dtype"):
+            engine.derive("a = u + v", {"u": np.ones(8, np.float32),
+                                        "v": np.ones(8)})
+
+    def test_small_aux_arrays_may_differ(self):
+        # coordinate arrays are not problem-sized; float32 coords beside
+        # float64 fields are tolerated (converted by the primitives)
+        bindings = normalize({
+            "u": np.zeros(100),
+            "x": np.zeros(5, np.float32),
+        }, ["u", "x"])
+        n, dtype = problem_size(bindings)
+        assert (n, dtype) == (100, np.float64)
+
+
+class TestVectorOutputs:
+    @pytest.mark.parametrize("strategy", ["roundtrip", "staged", "fusion"])
+    def test_gradient_as_final_output(self, strategy):
+        fields = make_fields(SubGrid(4, 5, 6), seed=2)
+        out = DerivedFieldEngine(strategy=strategy).derive(
+            "g = grad3d(u,dims,x,y,z)", fields)
+        expected = grad3d_numpy(fields["u"], fields["dims"], fields["x"],
+                                fields["y"], fields["z"])
+        assert out.shape == expected.shape
+        np.testing.assert_array_equal(out, expected)
+
+    def test_vec3_as_final_output(self):
+        fields = make_fields(SubGrid(3, 3, 3), seed=1)
+        out = DerivedFieldEngine(strategy="fusion").derive(
+            "g = vec3(u, v, w)", fields)
+        assert out.shape == (27, 4)
+        np.testing.assert_array_equal(out[:, 0], fields["u"])
+
+    def test_vector_output_interpreted_backend(self):
+        fields = make_fields(SubGrid(3, 4, 5), seed=1)
+        fast = DerivedFieldEngine(strategy="fusion")
+        slow = DerivedFieldEngine(strategy="fusion",
+                                  backend="interpreted")
+        text = "g = curl3d(u, v, w, dims, x, y, z)"
+        np.testing.assert_array_equal(fast.derive(text, fields),
+                                      slow.derive(text, fields))
+
+
+class TestFloat32End2End:
+    @pytest.mark.parametrize("strategy", ["roundtrip", "staged", "fusion"])
+    def test_float32_q_criterion(self, strategy):
+        fields = make_fields(SubGrid(4, 4, 6), seed=8, dtype=np.float32)
+        out = DerivedFieldEngine(strategy=strategy).derive(
+            "a = sqrt(u*u + v*v + w*w)", fields)
+        assert out.dtype == np.float32
+        expected = np.sqrt(fields["u"] ** 2 + fields["v"] ** 2
+                           + fields["w"] ** 2)
+        np.testing.assert_allclose(out, expected, rtol=1e-6)
+
+    def test_float32_interpreted_backend(self):
+        fields = make_fields(SubGrid(3, 3, 4), seed=8, dtype=np.float32)
+        fast = DerivedFieldEngine(strategy="fusion")
+        slow = DerivedFieldEngine(strategy="fusion",
+                                  backend="interpreted")
+        text = "a = 0.5 * u + v"
+        np.testing.assert_allclose(fast.derive(text, fields),
+                                   slow.derive(text, fields), rtol=1e-6)

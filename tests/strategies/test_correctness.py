@@ -1,0 +1,125 @@
+"""Every strategy must produce numerically identical results to the direct
+NumPy references, for all three paper expressions and extension features."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import vortex
+from repro.clsim import CLEnvironment
+from repro.dataflow import Network
+from repro.expr import eliminate_common_subexpressions, lower, parse
+from repro.strategies import (FusionStrategy, ReferenceKernel,
+                              RoundtripStrategy, StagedStrategy)
+
+STRATEGIES = [RoundtripStrategy, StagedStrategy, FusionStrategy]
+
+
+def compile_network(text):
+    spec, kinds = lower(parse(text))
+    return Network(eliminate_common_subexpressions(spec),
+                   source_kinds=kinds)
+
+
+def run(strategy_cls, text, fields, device="cpu"):
+    net = compile_network(text)
+    bindings = {k: fields[k] for k in net.live_sources()}
+    return strategy_cls().execute(net, bindings, CLEnvironment(device))
+
+
+@pytest.mark.parametrize("strategy_cls", STRATEGIES)
+class TestPaperExpressions:
+    def test_velocity_magnitude(self, strategy_cls, small_fields):
+        report = run(strategy_cls, vortex.VELOCITY_MAGNITUDE, small_fields)
+        expected = vortex.velocity_magnitude_reference(
+            small_fields["u"], small_fields["v"], small_fields["w"])
+        np.testing.assert_allclose(report.output, expected, rtol=1e-12)
+
+    def test_vorticity_magnitude(self, strategy_cls, small_fields):
+        report = run(strategy_cls, vortex.VORTICITY_MAGNITUDE, small_fields)
+        expected = vortex.vorticity_magnitude_reference(
+            *[small_fields[k] for k in
+              ("u", "v", "w", "dims", "x", "y", "z")])
+        np.testing.assert_allclose(report.output, expected, rtol=1e-12,
+                                   atol=1e-12)
+
+    def test_q_criterion(self, strategy_cls, small_fields):
+        report = run(strategy_cls, vortex.Q_CRITERION, small_fields)
+        expected = vortex.q_criterion_reference(
+            *[small_fields[k] for k in
+              ("u", "v", "w", "dims", "x", "y", "z")])
+        np.testing.assert_allclose(report.output, expected, rtol=1e-12,
+                                   atol=1e-12)
+
+    def test_gpu_and_cpu_agree(self, strategy_cls, small_fields):
+        cpu = run(strategy_cls, vortex.VELOCITY_MAGNITUDE, small_fields,
+                  "cpu")
+        gpu = run(strategy_cls, vortex.VELOCITY_MAGNITUDE, small_fields,
+                  "gpu")
+        np.testing.assert_array_equal(cpu.output, gpu.output)
+
+
+@pytest.mark.parametrize("strategy_cls", STRATEGIES)
+class TestLanguageFeatures:
+    def test_constants(self, strategy_cls, small_fields):
+        report = run(strategy_cls, "a = 2.5 * u + 0.5", small_fields)
+        np.testing.assert_allclose(report.output,
+                                   2.5 * small_fields["u"] + 0.5)
+
+    def test_division_and_negation(self, strategy_cls, small_fields):
+        report = run(strategy_cls, "a = -u / 4.0", small_fields)
+        np.testing.assert_allclose(report.output, -small_fields["u"] / 4.0)
+
+    def test_conditional_expression(self, strategy_cls, small_fields):
+        u = small_fields["u"]
+        report = run(strategy_cls,
+                     "a = if (u > 0.0) then (u * u) else (-(u * u))",
+                     small_fields)
+        np.testing.assert_allclose(
+            report.output, np.where(u > 0, u * u, -(u * u)))
+
+    def test_min_max_abs(self, strategy_cls, small_fields):
+        u, v = small_fields["u"], small_fields["v"]
+        report = run(strategy_cls, "a = max(abs(u), abs(v))", small_fields)
+        np.testing.assert_allclose(report.output,
+                                   np.maximum(np.abs(u), np.abs(v)))
+
+    def test_vector_helpers(self, strategy_cls, small_fields):
+        report = run(strategy_cls, "a = vmag(vec3(u, v, w))", small_fields)
+        expected = vortex.velocity_magnitude_reference(
+            small_fields["u"], small_fields["v"], small_fields["w"])
+        np.testing.assert_allclose(report.output, expected, rtol=1e-12)
+
+    def test_intermediate_reuse(self, strategy_cls, small_fields):
+        u = small_fields["u"]
+        report = run(strategy_cls, "t = u * u\na = t + t\nb = a * t",
+                     small_fields)
+        np.testing.assert_allclose(report.output, (u * u + u * u) * (u * u))
+
+    def test_float32_inputs(self, strategy_cls, small_fields):
+        fields32 = {k: (v.astype(np.float32) if v.dtype.kind == "f" else v)
+                    for k, v in small_fields.items()}
+        report = run(strategy_cls, "a = sqrt(u*u + v*v)", fields32)
+        assert report.output.dtype == np.float32
+
+
+class TestReferenceKernels:
+    @pytest.mark.parametrize("name", list(vortex.EXPRESSIONS))
+    def test_matches_framework(self, name, small_fields):
+        inputs = {k: small_fields[k]
+                  for k in vortex.EXPRESSION_INPUTS[name]}
+        ref = ReferenceKernel(name).execute(inputs, CLEnvironment("cpu"))
+        fused = run(FusionStrategy, vortex.EXPRESSIONS[name], small_fields)
+        np.testing.assert_allclose(ref.output, fused.output, rtol=1e-12,
+                                   atol=1e-12)
+
+    def test_unknown_expression_rejected(self):
+        from repro.errors import StrategyError
+        with pytest.raises(StrategyError):
+            ReferenceKernel("enstrophy")
+
+    def test_reference_counts_match_fusion(self, small_fields):
+        inputs = {k: small_fields[k]
+                  for k in vortex.EXPRESSION_INPUTS["q_criterion"]}
+        ref = ReferenceKernel("q_criterion").execute(
+            inputs, CLEnvironment("cpu"))
+        assert ref.counts.as_row() == (7, 1, 1)

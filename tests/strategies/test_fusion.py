@@ -1,0 +1,144 @@
+"""Unit tests for the dynamic kernel generator (fusion strategy)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import vortex
+from repro.clsim import CLEnvironment, validate_source
+from repro.dataflow import Network
+from repro.expr import eliminate_common_subexpressions, lower, parse
+from repro.strategies import FusionStrategy, plan_stages
+from repro.errors import StrategyError
+
+
+def network_for(text):
+    spec, _ = lower(parse(text))
+    return Network(eliminate_common_subexpressions(spec))
+
+
+def run_fusion(text, fields, device="cpu"):
+    net = network_for(text)
+    bindings = {k: fields[k] for k in net.live_sources()}
+    return FusionStrategy().execute(net, bindings, CLEnvironment(device))
+
+
+class TestGeneratedSource:
+    def test_single_kernel_source_emitted(self, small_fields):
+        report = run_fusion(vortex.Q_CRITERION, small_fields)
+        assert len(report.generated_sources) == 1
+        (source,) = report.generated_sources.values()
+        validate_source(source)
+
+    def test_constants_inlined_not_buffered(self, small_fields):
+        report = run_fusion("a = 0.5 * u", small_fields)
+        (source,) = report.generated_sources.values()
+        assert "0.5" in source            # source-code level constant
+        assert report.counts.dev_writes == 1  # only u uploaded
+
+    def test_vector_types_used(self, small_fields):
+        report = run_fusion(vortex.VORTICITY_MAGNITUDE, small_fields)
+        (source,) = report.generated_sources.values()
+        assert "double4" in source
+
+    def test_decompose_uses_component_selection(self, small_fields):
+        report = run_fusion("a = grad3d(u,dims,x,y,z)[1]", small_fields)
+        (source,) = report.generated_sources.values()
+        assert ".s1" in source
+
+    def test_gradient_helper_included_once(self, small_fields):
+        report = run_fusion(vortex.Q_CRITERION, small_fields)
+        (source,) = report.generated_sources.values()
+        assert source.count("inline double4 dfg_grad3d(") == 1
+
+    def test_elementwise_helpers_shared(self, small_fields):
+        report = run_fusion("a = u*u + v*v + w*w", small_fields)
+        (source,) = report.generated_sources.values()
+        assert source.count("dfg_mult(") >= 3        # three call sites
+        assert source.count("inline double dfg_mult(") == 1
+
+    def test_float32_renders_float_source(self, small_fields):
+        fields = {k: (v.astype(np.float32) if v.dtype.kind == "f" else v)
+                  for k, v in small_fields.items()}
+        report = run_fusion(vortex.VORTICITY_MAGNITUDE, fields)
+        (source,) = report.generated_sources.values()
+        assert "float4" in source and "double4" not in source
+
+
+class TestStagePlanning:
+    def test_paper_expressions_single_stage(self):
+        for text in vortex.EXPRESSIONS.values():
+            stages, _ = plan_stages(network_for(text))
+            assert len(stages) == 1
+
+    def test_gradient_of_computed_value_splits(self):
+        net = network_for("t = u * u\na = grad3d(t,dims,x,y,z)[0]")
+        stages, materialized = plan_stages(net)
+        assert len(stages) == 2
+        # t must be materialized between the stages
+        t_id = net.spec.resolve("t")
+        assert t_id in materialized
+        assert t_id in stages[0].writes
+        assert t_id in stages[1].reads
+
+    def test_gradient_of_source_does_not_split(self):
+        stages, _ = plan_stages(
+            network_for("a = grad3d(u,dims,x,y,z)[0]"))
+        assert len(stages) == 1
+
+    def test_chained_gradients_three_stages(self):
+        net = network_for(
+            "t = u * u\n"
+            "g = grad3d(t,dims,x,y,z)[0]\n"
+            "h = grad3d(g,dims,x,y,z)[1]")
+        stages, _ = plan_stages(net)
+        assert len(stages) == 3
+
+    def test_gradient_of_constant_rejected(self):
+        # rejected at network validation: a stencil over a uniform value
+        from repro.errors import NetworkError
+        with pytest.raises(NetworkError, match="uniform"):
+            network_for("a = grad3d(2.0,dims,x,y,z)[0]")
+
+
+class TestMultiStageExecution:
+    def test_gradient_of_squared_field_correct(self, small_fields):
+        report = run_fusion("t = u * u\na = grad3d(t,dims,x,y,z)[2]",
+                            small_fields)
+        from repro.primitives import grad3d_numpy
+        u = small_fields["u"]
+        expected = grad3d_numpy(
+            u * u, small_fields["dims"], small_fields["x"],
+            small_fields["y"], small_fields["z"])[:, 2]
+        np.testing.assert_allclose(report.output, expected, rtol=1e-12)
+        assert report.counts.kernel_execs == 2
+
+    def test_two_sources_each_stage_validated(self, small_fields):
+        report = run_fusion(
+            "t = u + v\na = grad3d(t,dims,x,y,z)[0] * w", small_fields)
+        assert len(report.generated_sources) == 2
+        for source in report.generated_sources.values():
+            validate_source(source)
+
+
+class TestConstantOnlyExpressions:
+    def test_constant_expression_broadcasts(self, small_fields):
+        report = run_fusion("a = u * 0.0 + 3.0", small_fields)
+        np.testing.assert_array_equal(report.output,
+                                      np.full_like(small_fields["u"], 3.0))
+
+
+class TestRegisterAccounting:
+    def test_qcrit_uses_more_registers_than_velmag(self, small_fields):
+        # indirectly visible through the modeled kernel cost: fetch the
+        # planned register words via the stage generator
+        from repro.strategies.fusion import FusionStrategy
+        strategy = FusionStrategy()
+        for text, floor in [(vortex.VELOCITY_MAGNITUDE, 1),
+                            (vortex.Q_CRITERION, 10)]:
+            net = network_for(text)
+            bindings, n, dtype = strategy._prepare(
+                net, {k: small_fields[k] for k in net.live_sources()})
+            stages, _ = plan_stages(net)
+            _, cost, _ = strategy._generate(net, stages[0], bindings, n,
+                                            dtype)
+            assert cost.register_words >= floor

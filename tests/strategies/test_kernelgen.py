@@ -1,0 +1,84 @@
+"""Tests for the single-primitive kernel generator (roundtrip/staged)."""
+
+import numpy as np
+import pytest
+
+from repro.clsim import validate_source
+from repro.primitives import ADD, GRAD3D, MULT, SELECT, SQRT
+from repro.strategies.kernelgen import (ARRAY, BY_VALUE, CONST_BUF,
+                                        KernelCache, VECTOR)
+
+
+@pytest.fixture
+def cache():
+    return KernelCache(np.float64)
+
+
+class TestElementwiseKernels:
+    def test_array_array(self, cache):
+        kernel = cache.primitive_kernel(ADD, [ARRAY, ARRAY])
+        assert validate_source(kernel.source) == ["k_add_aa"]
+        assert "a0[gid]" in kernel.source and "a1[gid]" in kernel.source
+
+    def test_const_buffer_indexes_zero(self, cache):
+        kernel = cache.primitive_kernel(MULT, [CONST_BUF, ARRAY])
+        assert "a0[0]" in kernel.source
+        assert validate_source(kernel.source)
+
+    def test_three_args(self, cache):
+        kernel = cache.primitive_kernel(SELECT, [ARRAY, ARRAY, ARRAY])
+        assert validate_source(kernel.source)
+
+    def test_unary(self, cache):
+        kernel = cache.primitive_kernel(SQRT, [ARRAY])
+        assert "sqrt(" in kernel.source
+
+    def test_executor_attached(self, cache):
+        kernel = cache.primitive_kernel(ADD, [ARRAY, ARRAY])
+        result, wall = kernel.run([np.ones(3), np.full(3, 2.0)])
+        np.testing.assert_array_equal(result, 3.0)
+        assert wall >= 0
+
+    def test_cache_by_signature(self, cache):
+        k1 = cache.primitive_kernel(ADD, [ARRAY, ARRAY])
+        k2 = cache.primitive_kernel(ADD, [ARRAY, ARRAY])
+        k3 = cache.primitive_kernel(ADD, [CONST_BUF, ARRAY])
+        assert k1 is k2
+        assert k1 is not k3
+
+    def test_float32_variant(self):
+        cache = KernelCache(np.float32)
+        kernel = cache.primitive_kernel(ADD, [ARRAY, ARRAY])
+        assert "float" in kernel.source and "double" not in kernel.source
+
+
+class TestSpecialKernels:
+    def test_gradient_kernel(self, cache):
+        kernel = cache.primitive_kernel(
+            GRAD3D, [ARRAY, ARRAY, ARRAY, ARRAY, ARRAY])
+        assert validate_source(kernel.source) == ["k_grad3d"]
+        assert "double4" in kernel.source
+
+    def test_decompose_kernel(self, cache):
+        from repro.primitives import DECOMPOSE
+        kernel = cache.primitive_kernel(DECOMPOSE, [VECTOR],
+                                        component=1)
+        assert validate_source(kernel.source) == ["k_decompose"]
+        vec = np.arange(8.0).reshape(2, 4)
+        result, _ = kernel.run([vec, 1])
+        np.testing.assert_array_equal(result, [1.0, 5.0])
+
+    def test_fill_kernel(self, cache):
+        kernel = cache.fill_kernel()
+        assert validate_source(kernel.source) == ["k_fill"]
+        result, _ = kernel.run([2.5])
+        np.testing.assert_array_equal(result, [2.5])
+        assert result.dtype == np.float64
+
+    def test_sources_snapshot(self, cache):
+        cache.primitive_kernel(ADD, [ARRAY, ARRAY])
+        cache.fill_kernel()
+        sources = cache.sources()
+        assert set(sources) == {"k_add_aa", "k_fill"}
+        for source in sources.values():
+            validate_source(source)

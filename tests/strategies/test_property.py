@@ -1,0 +1,110 @@
+"""Property-based cross-strategy agreement.
+
+The strongest invariant in the system: for *any* expressible program, the
+three execution strategies and a direct NumPy evaluation of the AST must
+agree bit-for-bit (same order of floating-point operations) or to tight
+tolerance.  Hypothesis generates random programs over random fields.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clsim import CLEnvironment
+from repro.dataflow import Network
+from repro.expr import eliminate_common_subexpressions, lower, parse
+from repro.strategies import (FusionStrategy, RoundtripStrategy,
+                              StagedStrategy)
+
+NAMES = ("u", "v", "w")
+
+
+@st.composite
+def programs(draw):
+    """A random expression program over fields u, v, w."""
+    n_stmts = draw(st.integers(1, 3))
+    defined = list(NAMES)
+    lines = []
+    for i in range(n_stmts):
+        expr = draw(exprs(defined))
+        name = f"t{i}"
+        lines.append(f"{name} = {expr}")
+        defined.append(name)
+    # Expressions must reference at least one host field for the problem
+    # size to be defined; anchor the result to u without changing values.
+    lines.append(f"result = t{n_stmts - 1} + 0.0 * u")
+    return "\n".join(lines)
+
+
+@st.composite
+def exprs(draw, defined, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return draw(st.sampled_from(defined))
+        if choice == 1:
+            return repr(round(draw(st.floats(-4, 4, allow_nan=False)), 3))
+        return f"abs({draw(st.sampled_from(defined))})"
+    kind = draw(st.sampled_from(["+", "-", "*", "max", "min", "select",
+                                 "neg"]))
+    if kind in "+-*":
+        left = draw(exprs(defined, depth + 1))
+        right = draw(exprs(defined, depth + 1))
+        return f"({left} {kind} {right})"
+    if kind == "neg":
+        return f"(-{draw(exprs(defined, depth + 1))})"
+    if kind == "select":
+        c = draw(exprs(defined, depth + 1))
+        t = draw(exprs(defined, depth + 1))
+        f = draw(exprs(defined, depth + 1))
+        return f"(if ({c} > 0.0) then ({t}) else ({f}))"
+    a = draw(exprs(defined, depth + 1))
+    b = draw(exprs(defined, depth + 1))
+    return f"{kind}({a}, {b})"
+
+
+def run_all_strategies(text, fields):
+    spec, _ = lower(parse(text))
+    net = Network(eliminate_common_subexpressions(spec))
+    bindings = {k: fields[k] for k in net.live_sources()}
+    outputs = {}
+    for strategy in (RoundtripStrategy(), StagedStrategy(),
+                     FusionStrategy()):
+        report = strategy.execute(net, bindings, CLEnvironment("cpu"))
+        outputs[strategy.name] = report.output
+    return outputs
+
+
+@given(programs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_all_strategies_agree(text, seed):
+    rng = np.random.default_rng(seed)
+    fields = {name: rng.standard_normal(32) for name in NAMES}
+    outputs = run_all_strategies(text, fields)
+    base = outputs["roundtrip"]
+    assert base.shape == (32,)
+    for name in ("staged", "fusion"):
+        np.testing.assert_allclose(outputs[name], base, rtol=1e-12,
+                                   atol=1e-12, err_msg=f"{name} vs "
+                                   f"roundtrip for program:\n{text}")
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_strategies_agree_on_gradient_networks(seed):
+    rng = np.random.default_rng(seed)
+    ni, nj, nk = 4, 5, 6
+    fields = {
+        "u": rng.standard_normal(ni * nj * nk),
+        "dims": np.array([ni, nj, nk], np.int32),
+        "x": np.concatenate([[0.0],
+                             np.cumsum(rng.uniform(0.05, 1.0, ni))]),
+        "y": np.linspace(0, 1, nj + 1),
+        "z": np.linspace(0, 2, nk + 1),
+    }
+    text = "g = grad3d(u,dims,x,y,z)\na = g[0]*g[0] + g[1] - g[2]"
+    outputs = run_all_strategies(text, fields)
+    np.testing.assert_allclose(outputs["staged"], outputs["roundtrip"],
+                               rtol=1e-10, atol=1e-10)
+    np.testing.assert_allclose(outputs["fusion"], outputs["roundtrip"],
+                               rtol=1e-10, atol=1e-10)

@@ -1,0 +1,77 @@
+"""Tests for the ABC (Beltrami) flow workload."""
+
+import numpy as np
+import pytest
+
+from repro.host import derive
+from repro.primitives import curl3d_numpy, div3d_numpy
+from repro.workloads import abc_fields, abc_q_criterion, abc_velocity
+
+
+def mesh_args(fields):
+    return [fields[k] for k in ("dims", "x", "y", "z")]
+
+
+class TestBeltramiProperty:
+    def test_curl_equals_velocity_second_order(self):
+        """curl(V) = V for ABC flow; the discrete curl converges to it at
+        second order in the interior."""
+        errors = []
+        for n in (16, 32):
+            fields = abc_fields((n, n, n))
+            curl = curl3d_numpy(fields["u"], fields["v"], fields["w"],
+                                *mesh_args(fields))
+            velocity = np.stack([fields["u"], fields["v"], fields["w"]],
+                                axis=1)
+            err = np.abs(curl[:, :3] - velocity).max(axis=1)
+            errors.append(err.reshape(n, n, n)[1:-1, 1:-1, 1:-1].max())
+        assert errors[1] < errors[0] / 3.5  # ~4x per refinement
+        assert errors[1] < 0.02
+
+    def test_divergence_free_interior(self):
+        n = 16
+        fields = abc_fields((n, n, n))
+        div = div3d_numpy(fields["u"], fields["v"], fields["w"],
+                          *mesh_args(fields))
+        interior = np.abs(div).reshape(n, n, n)[1:-1, 1:-1, 1:-1]
+        assert interior.max() < 1e-12  # exact cancellation per axis
+
+    def test_expression_vorticity_equals_velocity_magnitude(self):
+        """Through the full framework: |curl V| ~= |V| for ABC flow."""
+        fields = abc_fields((24, 24, 24))
+        wmag = derive("w_mag = vmag(curl3d(u,v,w,dims,x,y,z))",
+                      fields)["w_mag"]
+        vmag = derive("v_mag = sqrt(u*u + v*v + w*w)", fields)["v_mag"]
+        n = 24
+        interior = (slice(1, -1),) * 3
+        np.testing.assert_allclose(
+            wmag.reshape(n, n, n)[interior],
+            vmag.reshape(n, n, n)[interior], rtol=0.05)
+
+
+class TestAnalyticQ:
+    def test_q_criterion_converges(self):
+        from repro.analysis.vortex import q_criterion_reference
+        errors = []
+        for n in (12, 24):
+            fields = abc_fields((n, n, n))
+            got = q_criterion_reference(fields["u"], fields["v"],
+                                        fields["w"], *mesh_args(fields))
+            want = abc_q_criterion(fields["x"], fields["y"], fields["z"])
+            scale = np.abs(want).max()
+            err = (np.abs(got - want) / scale).reshape(n, n, n)
+            errors.append(err[1:-1, 1:-1, 1:-1].max())
+        assert errors[1] < errors[0]
+        assert errors[1] < 0.1
+
+    def test_parameters_scale_velocity(self):
+        x = np.linspace(0, 2 * np.pi, 9)
+        u1, _, _ = abc_velocity(x, x, x, A=1.0, B=0.0, C=0.0)
+        u2, _, _ = abc_velocity(x, x, x, A=2.0, B=0.0, C=0.0)
+        np.testing.assert_allclose(u2, 2 * u1)
+
+    def test_fields_dict_complete(self):
+        fields = abc_fields((4, 5, 6))
+        assert set(fields) == {"u", "v", "w", "dims", "x", "y", "z"}
+        assert fields["u"].size == 120
+        assert fields["x"][-1] == pytest.approx(2 * np.pi)

@@ -1,0 +1,96 @@
+"""Tests for the Table I catalogue and mesh/field construction."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (FULL_DATASET, SubGrid, TABLE1_SUBGRIDS,
+                             make_fields, make_mesh, make_shapes,
+                             scaled_subgrids)
+
+# Table I verbatim: (nk, cells).
+TABLE1_ROWS = [
+    (256, 9_437_184), (512, 18_874_368), (768, 28_311_552),
+    (1024, 37_748_736), (1280, 47_185_920), (1536, 56_623_104),
+    (1792, 66_060_288), (2048, 75_497_472), (2304, 84_934_656),
+    (2560, 94_371_840), (2816, 103_809_024), (3072, 113_246_208),
+]
+
+
+class TestTable1:
+    def test_twelve_subgrids(self):
+        assert len(TABLE1_SUBGRIDS) == 12
+
+    @pytest.mark.parametrize("row,grid", zip(TABLE1_ROWS, TABLE1_SUBGRIDS))
+    def test_cell_counts_match_paper(self, row, grid):
+        nk, cells = row
+        assert grid.dims == (192, 192, nk)
+        assert grid.n_cells == cells
+
+    def test_smallest_data_size(self):
+        # 9,437,184 cells x 3 float64 components = 216 MiB (the paper's
+        # "218 MB" row, within rounding conventions)
+        assert TABLE1_SUBGRIDS[0].data_size_bytes() == 226_492_416
+
+    def test_largest_data_size_is_2_5_gib(self):
+        gib = TABLE1_SUBGRIDS[-1].data_size_bytes() / 2**30
+        assert 2.4 < gib < 2.7  # the paper's "2.6 GB"
+
+    def test_full_dataset_decomposition(self):
+        blocks_per_axis = [g // b for g, b in zip(
+            FULL_DATASET["global_dims"], FULL_DATASET["block_dims"])]
+        n_blocks = np.prod(blocks_per_axis)
+        assert n_blocks == FULL_DATASET["n_blocks"] == 3072
+        assert FULL_DATASET["n_gpus"] * FULL_DATASET["blocks_per_gpu"] \
+            == 3072
+
+    def test_label(self):
+        assert TABLE1_SUBGRIDS[0].label() == "192x192x0256"
+
+
+class TestScaledSubgrids:
+    def test_preserves_sweep_length(self):
+        assert len(scaled_subgrids(16)) == 12
+
+    def test_monotone_cells(self):
+        grids = scaled_subgrids(8)
+        cells = [g.n_cells for g in grids]
+        assert cells == sorted(cells)
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            scaled_subgrids(0)
+
+
+class TestMeshConstruction:
+    def test_make_mesh_shapes(self):
+        mesh = make_mesh((4, 5, 6))
+        assert mesh["dims"].tolist() == [4, 5, 6]
+        assert len(mesh["x"]) == 5
+        assert len(mesh["y"]) == 6
+        assert len(mesh["z"]) == 7
+
+    def test_coordinates_monotone(self):
+        mesh = make_mesh((4, 5, 6), extent=(2.0, 1.0, 3.0))
+        for axis in ("x", "y", "z"):
+            assert (np.diff(mesh[axis]) > 0).all()
+        assert mesh["x"][-1] == 2.0
+
+    def test_make_shapes_matches_fields(self):
+        grid = SubGrid(4, 5, 6)
+        shapes = make_shapes(grid)
+        fields = make_fields(grid)
+        for name, spec in shapes.items():
+            assert fields[name].shape == spec.shape, name
+            assert fields[name].dtype == spec.dtype, name
+
+    def test_shape_bytes_at_paper_scale(self):
+        shapes = make_shapes(TABLE1_SUBGRIDS[-1])
+        assert shapes["u"].nbytes == 113_246_208 * 8
+
+    def test_make_fields_deterministic(self):
+        grid = SubGrid(3, 3, 4)
+        a = make_fields(grid, seed=5)
+        b = make_fields(grid, seed=5)
+        np.testing.assert_array_equal(a["u"], b["u"])
+        c = make_fields(grid, seed=6)
+        assert np.abs(a["u"] - c["u"]).max() > 0
