@@ -82,6 +82,19 @@ def cmd_derive(args) -> int:
           f"K-Exe={report.counts.kernel_execs}")
     print(f"  modeled: {report.timing.total:.6f} s   "
           f"device memory {report.mem_high_water:,} B")
+    if args.verbose:
+        if report.cache is not None:
+            c = report.cache
+            print(f"  plan cache: {'hit' if c.hit else 'miss'} "
+                  f"(hits={c.hits} misses={c.misses} "
+                  f"evictions={c.evictions} size={c.size}/{c.maxsize})")
+        if report.alloc is not None:
+            a = report.alloc
+            print(f"  allocator:  {a.total_allocations} reservations, "
+                  f"{a.reused_allocations} reused from pool "
+                  f"(hits={a.pool_hits} misses={a.pool_misses})")
+            print(f"  pool:       {a.pooled_bytes:,} B parked, "
+                  f"{a.live_bytes:,} B live, peak {a.peak_bytes:,} B")
     if args.show_kernels:
         for name, source in report.generated_sources.items():
             print(f"\n// ---- {name} ----\n{source}")
@@ -189,6 +202,9 @@ def build_parser() -> argparse.ArgumentParser:
                         + ", ".join(EXPRESSIONS))
     p.add_argument("--show-kernels", action="store_true",
                    help="print the generated OpenCL C")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="also print plan-cache and allocator/pool "
+                        "statistics for this run")
     p.add_argument("--trace", metavar="FILE",
                    help="write the modeled device timeline as Chrome "
                         "trace-event JSON")

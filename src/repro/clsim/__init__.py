@@ -13,7 +13,7 @@ plans.  See DESIGN.md §2 for why this substitution preserves the paper's
 observable behaviour.
 """
 
-from .buffer import Allocator, Buffer
+from .buffer import AllocationStats, Allocator, Buffer, BufferPool
 from .compiler import KernelSourceBuilder, validate_source
 from .context import Context
 from .device import (DeviceSpec, DeviceType, GIB, INTEL_X5660_CPU, KIB, MIB,
@@ -27,7 +27,8 @@ from .platform import Platform, find_device, get_platforms
 from .queue import CommandQueue
 
 __all__ = [
-    "Allocator", "Buffer", "KernelSourceBuilder", "validate_source",
+    "AllocationStats", "Allocator", "Buffer", "BufferPool",
+    "KernelSourceBuilder", "validate_source",
     "Context", "DeviceSpec", "DeviceType", "GIB", "KIB", "MIB",
     "INTEL_X5660_CPU", "NVIDIA_M2050_GPU", "CLEnvironment", "TimingSummary",
     "Event", "EventCounts", "EventKind", "EventLog", "Kernel", "Program",

@@ -1,4 +1,4 @@
-"""Device global-memory buffers and the tracking allocator.
+"""Device global-memory buffers, the tracking allocator, and the pool.
 
 The paper's memory study (Fig 6) measures "the maximum amount of global
 device memory reserved for OpenCL buffers during execution" by having the
@@ -10,10 +10,20 @@ high-water mark.
 Buffers may be *dry*: allocated and tracked without backing storage.  The
 full-scale paper grids (up to 2.6 GB per field) are planned this way, while
 scaled-down runs attach real NumPy arrays.
+
+:class:`BufferPool` is the warm-execution extension (PyOpenCL ships the
+same idea as ``pyopencl.tools.MemoryPool``): released buffers park their
+device reservation in a size-class free list instead of returning it to the
+allocator, so a repeated execution of the same plan recycles reservations
+rather than re-reserving them.  Pooling is opt-in — cold runs (every Fig 6
+artifact) never see a pool, so their accounting is unchanged — and pooled
+bytes are reported separately (``pooled_bytes``) so warm-run accounting
+stays honest.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -21,7 +31,33 @@ import numpy as np
 from ..errors import CLInvalidOperation, CLOutOfMemoryError
 from .device import DeviceSpec
 
-__all__ = ["Buffer", "Allocator"]
+__all__ = ["Buffer", "Allocator", "BufferPool", "AllocationStats"]
+
+
+@dataclass(frozen=True)
+class AllocationStats:
+    """Observable allocator + pool counters for one device context.
+
+    ``total_allocations`` counts real reservations (identical to the cold
+    path); ``reused_allocations`` counts buffer requests satisfied from the
+    pool without touching the allocator.  ``pooled_bytes`` is device memory
+    currently parked in the pool — still reserved on the device, but not
+    held by any live buffer.
+    """
+
+    total_allocations: int
+    reused_allocations: int
+    current_bytes: int
+    peak_bytes: int
+    pooled_bytes: int
+    pool_hits: int
+    pool_misses: int
+    pool_returns: int
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes held by live buffers (reserved minus pooled)."""
+        return self.current_bytes - self.pooled_bytes
 
 
 class Allocator:
@@ -32,6 +68,7 @@ class Allocator:
         self.current_bytes = 0
         self.peak_bytes = 0
         self.total_allocations = 0
+        self.reused_allocations = 0
 
     def reserve(self, nbytes: int, label: str = "") -> None:
         if nbytes < 0:
@@ -62,6 +99,90 @@ class Allocator:
     def reset_peak(self) -> None:
         self.peak_bytes = self.current_bytes
 
+    def stats(self, pool: "BufferPool | None" = None) -> AllocationStats:
+        return AllocationStats(
+            total_allocations=self.total_allocations,
+            reused_allocations=self.reused_allocations,
+            current_bytes=self.current_bytes,
+            peak_bytes=self.peak_bytes,
+            pooled_bytes=pool.pooled_bytes if pool else 0,
+            pool_hits=pool.hits if pool else 0,
+            pool_misses=pool.misses if pool else 0,
+            pool_returns=pool.returns if pool else 0,
+        )
+
+
+_MIN_CLASS = 64
+
+
+def size_class(nbytes: int) -> int:
+    """Round a request up to its pool size class (power of two, >= 64 B).
+
+    Class binning is what lets slightly different request sizes share one
+    free list; for warm re-execution of an identical plan the sizes repeat
+    exactly, so every class is an exact hit after the first run.
+    """
+    if nbytes <= _MIN_CLASS:
+        return _MIN_CLASS
+    return 1 << (nbytes - 1).bit_length()
+
+
+class BufferPool:
+    """Size-class free list of parked device reservations.
+
+    The pool never stores array data or :class:`Buffer` objects — only the
+    byte reservations themselves — so a recycled buffer can never alias a
+    previously released one.  A released pooled buffer keeps its bytes
+    reserved on the device (they count against the OOM limit, exactly as a
+    real ``MemoryPool`` would) until :meth:`trim` hands them back.
+    """
+
+    def __init__(self, allocator: Allocator):
+        self.allocator = allocator
+        self._free: dict[int, int] = {}   # capacity -> parked reservations
+        self.hits = 0
+        self.misses = 0
+        self.returns = 0
+        self.pooled_bytes = 0
+        self.bytes_reused = 0
+
+    def capacity_for(self, nbytes: int) -> int:
+        return size_class(nbytes)
+
+    def acquire(self, nbytes: int, label: str = "", *,
+                dry: bool = False) -> "Optional[Buffer]":
+        """Return a recycled buffer for ``nbytes``, or None on a miss."""
+        capacity = self.capacity_for(nbytes)
+        if self._free.get(capacity, 0) > 0:
+            self._free[capacity] -= 1
+            self.pooled_bytes -= capacity
+            self.hits += 1
+            self.bytes_reused += capacity
+            self.allocator.reused_allocations += 1
+            return Buffer._adopt(self.allocator, nbytes, capacity=capacity,
+                                 label=label, dry=dry, pool=self)
+        self.misses += 1
+        return None
+
+    def _park(self, capacity: int) -> None:
+        """Take back a released buffer's reservation (internal: called by
+        :meth:`Buffer.release`)."""
+        self._free[capacity] = self._free.get(capacity, 0) + 1
+        self.pooled_bytes += capacity
+        self.returns += 1
+
+    def trim(self) -> int:
+        """Release every parked reservation back to the allocator; returns
+        the number of bytes freed."""
+        freed = 0
+        for capacity, count in self._free.items():
+            for _ in range(count):
+                self.allocator.release(capacity)
+                freed += capacity
+        self._free.clear()
+        self.pooled_bytes = 0
+        return freed
+
 
 class Buffer:
     """A simulated ``cl.Buffer``.
@@ -70,15 +191,38 @@ class Buffer:
     buffer.  Release is explicit (:meth:`release`) — the execution
     strategies free intermediates as reference counts drop, which is what
     produces their distinct memory footprints.
+
+    ``capacity`` is the reserved byte count; it equals ``nbytes`` except
+    for pooled buffers, whose reservations are rounded up to the pool's
+    size class.  A pooled buffer's :meth:`release` parks the reservation in
+    the pool instead of returning it to the allocator.
     """
 
     def __init__(self, allocator: Allocator, nbytes: int, *,
-                 label: str = "", dry: bool = False):
-        allocator.reserve(nbytes, label)
+                 label: str = "", dry: bool = False,
+                 capacity: Optional[int] = None,
+                 pool: Optional[BufferPool] = None):
+        capacity = nbytes if capacity is None else max(capacity, nbytes)
+        allocator.reserve(capacity, label)
+        self._setup(allocator, nbytes, capacity, label, dry, pool)
+
+    @classmethod
+    def _adopt(cls, allocator: Allocator, nbytes: int, *, capacity: int,
+               label: str, dry: bool, pool: BufferPool) -> "Buffer":
+        """Construct over an already-reserved pooled capacity (no
+        allocator traffic — the pool hit path)."""
+        buf = cls.__new__(cls)
+        buf._setup(allocator, nbytes, capacity, label, dry, pool)
+        return buf
+
+    def _setup(self, allocator: Allocator, nbytes: int, capacity: int,
+               label: str, dry: bool, pool: Optional[BufferPool]) -> None:
         self._allocator = allocator
         self.nbytes = nbytes
+        self.capacity = capacity
         self.label = label
         self.dry = dry
+        self._pool = pool
         self.data: Optional[np.ndarray] = None
         self._released = False
 
@@ -111,12 +255,16 @@ class Buffer:
         return self.data
 
     def release(self) -> None:
-        """Return this buffer's bytes to the allocator (idempotent)."""
+        """Return this buffer's bytes to the allocator — or park them in
+        the pool when this context pools buffers (idempotent)."""
         if self._released:
             return
-        self._allocator.release(self.nbytes)
         self.data = None
         self._released = True
+        if self._pool is not None:
+            self._pool._park(self.capacity)
+        else:
+            self._allocator.release(self.capacity)
 
     def _check_alive(self) -> None:
         if self._released:

@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from ..errors import CLBuildError
 
-__all__ = ["KernelSourceBuilder", "validate_source", "PREAMBLE"]
+__all__ = ["KernelSourceBuilder", "validate_source",
+           "validate_source_cached", "PREAMBLE"]
 
 # Enables double precision, as the paper's float64 RT data requires.
 PREAMBLE = "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n"
@@ -68,6 +70,15 @@ class KernelSourceBuilder:
             lines.append(f"    {stmt}")
         lines.append("}")
         return "\n".join(lines) + "\n"
+
+
+@lru_cache(maxsize=256)
+def validate_source_cached(source: str) -> tuple[str, ...]:
+    """Memoized :func:`validate_source` for the plan-building path: the
+    kernel generator emits byte-identical source for structurally identical
+    stages, so a rebuilt (or evicted-and-rebuilt) plan revalidates free.
+    Only successful validations are cached — errors always re-raise."""
+    return tuple(validate_source(source))
 
 
 _KERNEL_SIG = re.compile(r"__kernel\s+void\s+([A-Za-z_]\w*)\s*\(")

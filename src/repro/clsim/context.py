@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .buffer import Allocator, Buffer
+from .buffer import Allocator, Buffer, BufferPool
 from .device import DeviceSpec
 
 __all__ = ["Context"]
@@ -23,12 +23,18 @@ class Context:
     kernel's generated OpenCL C and executes it work-item by work-item
     through :mod:`repro.clc` — far slower, but it proves the emitted
     source end to end.
+
+    ``pooling=True`` attaches a :class:`~repro.clsim.buffer.BufferPool`:
+    released buffers park their reservations in size-class free lists and
+    subsequent requests recycle them — the warm-execution path.  Pooled
+    allocations reserve the size-class capacity (>= the request), so cold
+    paper artifacts must run with pooling off (the default).
     """
 
     BACKENDS = ("vectorized", "interpreted")
 
     def __init__(self, device: DeviceSpec, *, dry_run: bool = False,
-                 backend: str = "vectorized"):
+                 backend: str = "vectorized", pooling: bool = False):
         if backend not in self.BACKENDS:
             from ..errors import CLError
             raise CLError(f"unknown backend {backend!r}; "
@@ -37,9 +43,18 @@ class Context:
         self.dry_run = dry_run
         self.backend = backend
         self.allocator = Allocator(device)
+        self.pool = BufferPool(self.allocator) if pooling else None
 
     def create_buffer(self, nbytes: int, label: str = "") -> Buffer:
         """Allocate device global memory (raises CLOutOfMemoryError)."""
+        if self.pool is not None:
+            buf = self.pool.acquire(nbytes, label, dry=self.dry_run)
+            if buf is not None:
+                return buf
+            return Buffer(self.allocator, nbytes, label=label,
+                          dry=self.dry_run,
+                          capacity=self.pool.capacity_for(nbytes),
+                          pool=self.pool)
         return Buffer(self.allocator, nbytes, label=label, dry=self.dry_run)
 
     def buffer_like(self, array: np.ndarray, label: str = "") -> Buffer:

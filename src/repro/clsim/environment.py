@@ -17,11 +17,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .buffer import Buffer
+from .buffer import AllocationStats, Buffer, BufferPool
 from .context import Context
 from .device import DeviceSpec, DeviceType
 from .events import Event, EventCounts, EventKind
-from .perfmodel import transfer_seconds
 from .platform import find_device
 from .queue import CommandQueue
 
@@ -52,14 +51,15 @@ class CLEnvironment:
     """One device's context, queue, and instrumentation."""
 
     def __init__(self, device: str | DeviceType | DeviceSpec = "gpu", *,
-                 dry_run: bool = False, backend: str = "vectorized"):
+                 dry_run: bool = False, backend: str = "vectorized",
+                 pooling: bool = False):
         if isinstance(device, DeviceSpec):
             self.device = device
         else:
             self.device = find_device(device)
         self.dry_run = dry_run
         self.context = Context(self.device, dry_run=dry_run,
-                               backend=backend)
+                               backend=backend, pooling=pooling)
         self.queue = CommandQueue(self.context)
 
     # -- buffers -------------------------------------------------------------
@@ -79,7 +79,7 @@ class CLEnvironment:
         buf = self.context.create_buffer(nbytes, label)
         self.queue.log.record(Event(
             EventKind.DEV_WRITE, label, nbytes,
-            sim_seconds=transfer_seconds(nbytes, self.device)))
+            sim_seconds=self.queue.xfer_seconds(nbytes)))
         return buf
 
     # -- instrumentation ----------------------------------------------------
@@ -106,6 +106,17 @@ class CLEnvironment:
     @property
     def mem_in_use(self) -> int:
         return self.context.mem_in_use
+
+    @property
+    def pool(self) -> BufferPool | None:
+        """The buffer pool, when this environment was built with
+        ``pooling=True`` (the warm-execution path)."""
+        return self.context.pool
+
+    def alloc_stats(self) -> AllocationStats:
+        """Allocator + pool counters: total/reused allocations, peak,
+        pooled bytes.  Observable pool efficacy without a debugger."""
+        return self.context.allocator.stats(self.context.pool)
 
     def reset_instrumentation(self) -> None:
         """Clear the event log and peak tracking between test cases."""

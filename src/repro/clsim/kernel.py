@@ -34,6 +34,10 @@ class Kernel:
     source: str
     executor: Optional[Executor] = None
     arg_names: tuple[str, ...] = ()
+    # Parsed-source cache for the interpreted backend: (unit, Interpreter).
+    # Living on the kernel, it survives across plan-cached warm runs.
+    clc_cache: Optional[tuple] = field(default=None, repr=False,
+                                       compare=False)
 
     def run(self, args: Sequence[object]) -> tuple[Optional[np.ndarray], float]:
         """Execute the NumPy executor; returns (result, wall_seconds).

@@ -42,11 +42,11 @@ def _run_interpreted(kernel: Kernel, device_args: list,
     from ..clc.interp import Interpreter
     from ..errors import CLBuildError
 
-    cached = getattr(kernel, "_clc_cache", None)
+    cached = kernel.clc_cache
     if cached is None:
         unit = parse_clc(kernel.source)
         cached = (unit, Interpreter(unit))
-        kernel._clc_cache = cached
+        kernel.clc_cache = cached
     unit, interpreter = cached
     fn = unit.function(kernel.name)
 
@@ -82,6 +82,16 @@ class CommandQueue:
         self.context = context
         self.device = context.device
         self.log = EventLog()
+        self._xfer_seconds: dict[int, float] = {}
+
+    def xfer_seconds(self, nbytes: int) -> float:
+        """Modeled host<->device transfer time, memoized per size — warm
+        re-executions repeat the same buffer sizes every run."""
+        seconds = self._xfer_seconds.get(nbytes)
+        if seconds is None:
+            seconds = transfer_seconds(nbytes, self.device)
+            self._xfer_seconds[nbytes] = seconds
+        return seconds
 
     # -- transfers -----------------------------------------------------------
 
@@ -91,7 +101,7 @@ class CommandQueue:
         buffer.set_data(host_array)
         self.log.record(Event(
             EventKind.DEV_WRITE, buffer.label, host_array.nbytes,
-            sim_seconds=transfer_seconds(host_array.nbytes, self.device)))
+            sim_seconds=self.xfer_seconds(host_array.nbytes)))
 
     def enqueue_read_buffer(self, buffer: Buffer) -> Optional[np.ndarray]:
         """Copy device memory back to the host (Dev-R event).
@@ -102,7 +112,7 @@ class CommandQueue:
         result = None if buffer.dry else buffer.get_data().copy()
         self.log.record(Event(
             EventKind.DEV_READ, buffer.label, buffer.nbytes,
-            sim_seconds=transfer_seconds(buffer.nbytes, self.device)))
+            sim_seconds=self.xfer_seconds(buffer.nbytes)))
         return result
 
     # -- kernels ---------------------------------------------------------------

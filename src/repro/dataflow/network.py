@@ -52,6 +52,9 @@ class Network:
         self._kinds = self._infer_kinds()
         self._uniform = self._infer_uniform()
         self._validate()
+        self._live_sources = tuple(
+            node_id for node_id in self._order
+            if self.spec.node(node_id).filter == SOURCE)
 
     # -- construction helpers ------------------------------------------------
 
@@ -160,8 +163,7 @@ class Network:
         return [self.spec.resolve(o) for o in self.spec.outputs]
 
     def live_sources(self) -> list[str]:
-        return [node_id for node_id in self._order
-                if self.spec.node(node_id).filter == SOURCE]
+        return list(self._live_sources)
 
     def n_filters(self) -> int:
         return sum(1 for node_id in self._order

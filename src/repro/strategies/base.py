@@ -13,12 +13,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 import numpy as np
 
+from ..clsim.buffer import AllocationStats
 from ..clsim.environment import CLEnvironment, TimingSummary
 from ..clsim.events import EventCounts
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .plancache import CacheInfo
 from ..dataflow.network import Network
 from ..dataflow.spec import NodeSpec
 from ..errors import StrategyError
@@ -46,6 +50,11 @@ class ExecutionReport:
     ``counts``/``timing``/``mem_high_water`` triple feeds Table II, Fig 5,
     and Fig 6 respectively; ``generated_sources`` holds the OpenCL C the
     strategy emitted, for inspection and validation.
+
+    ``cache`` and ``alloc`` are filled in by the warm-execution path
+    (:class:`~repro.host.engine.DerivedFieldEngine` with its plan cache):
+    plan-cache hit/miss/evict counters and allocator/pool statistics.
+    Direct strategy executions leave them ``None``.
     """
 
     strategy: str
@@ -54,6 +63,8 @@ class ExecutionReport:
     timing: TimingSummary
     mem_high_water: int
     generated_sources: dict[str, str] = field(default_factory=dict)
+    cache: "Optional[CacheInfo]" = None
+    alloc: Optional[AllocationStats] = None
 
 
 class ExecutionStrategy(abc.ABC):
@@ -66,6 +77,14 @@ class ExecutionStrategy(abc.ABC):
                 arrays: Mapping[str, BindingInput],
                 env: CLEnvironment) -> ExecutionReport:
         """Run ``network`` over the bound host arrays on ``env``'s device."""
+
+    def plan_token(self) -> tuple:
+        """This strategy's contribution to the executable-plan cache key.
+
+        Must cover every option that changes the generated plan; strategies
+        with knobs (e.g. streaming's chunk count) extend the tuple.
+        """
+        return (self.name,)
 
     # -- shared helpers ---------------------------------------------------------
 

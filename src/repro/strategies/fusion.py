@@ -21,6 +21,12 @@ network into fusion *stages* at global-materialization boundaries — a
 gradient of ``u*u`` yields two fused kernels with one materialized
 intermediate, which OpenCL's lack of device-wide barriers makes
 unavoidable.
+
+Fusion is where plan caching pays most: stage planning, OpenCL C
+generation, structural validation, and ``exec``-compiling the NumPy
+executors all happen in :meth:`FusionStrategy.build_plan`;
+:class:`FusionPlan.launch` is just uploads + one enqueue per stage + the
+single read-back.
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ from typing import Mapping, Optional
 import numpy as np
 
 from ..clsim.buffer import Buffer
-from ..clsim.compiler import KernelSourceBuilder, validate_source
+from ..clsim.compiler import KernelSourceBuilder, validate_source_cached
 from ..clsim.environment import CLEnvironment
 from ..clsim.kernel import Kernel
 from ..clsim.perfmodel import KernelCost
@@ -41,8 +47,9 @@ from ..errors import StrategyError
 from ..primitives.base import CallStyle, Primitive, ResultKind, VECTOR_WIDTH
 from .base import ExecutionReport, ExecutionStrategy, ctype_for
 from .bindings import Binding, BindingInput
+from .plancache import ExecutablePlan
 
-__all__ = ["FusionStrategy", "FusedStage", "plan_stages"]
+__all__ = ["FusionStrategy", "FusionPlan", "FusedStage", "plan_stages"]
 
 _RESERVED = {"gid", "out", "np"}
 
@@ -149,6 +156,67 @@ def plan_stages(network: Network) -> tuple[list[FusedStage], set[str]]:
     return stages, materialize
 
 
+@dataclass(frozen=True)
+class _StageStep:
+    """One compiled fused stage, ready to enqueue."""
+
+    kernel: Kernel
+    cost: KernelCost
+    reads: tuple[str, ...]                   # argument buffers (node ids)
+    writes: tuple[tuple[str, int], ...]      # (node id, nbytes) outputs
+    releases: tuple[str, ...]                # dead after this stage
+
+
+class FusionPlan(ExecutablePlan):
+    """Replayable fused execution: compiled stage kernels and sizes."""
+
+    def __init__(self, *, stages: tuple[_StageStep, ...],
+                 reshape_output: bool, **common):
+        super().__init__(**common)
+        self.stages = stages
+        self.reshape_output = reshape_output
+
+    def launch(self, bindings: Mapping[str, Binding],
+               env: CLEnvironment) -> Optional[np.ndarray]:
+        dry = env.dry_run
+        buffers: dict[str, Buffer] = {}
+        try:
+            # Upload each input exactly once (Dev-W = number of sources).
+            for source_id in self.source_order:
+                binding = bindings[source_id]
+                if dry:
+                    buffers[source_id] = env.upload_shape(
+                        binding.nbytes, source_id)
+                else:
+                    buffers[source_id] = env.upload(binding.data, source_id)
+
+            for step in self.stages:
+                out_buffers = []
+                for node_id, nbytes in step.writes:
+                    buf = env.create_buffer(nbytes, node_id)
+                    buffers[node_id] = buf
+                    out_buffers.append(buf)
+                arg_buffers = [buffers[node_id] for node_id in step.reads]
+                env.queue.enqueue_kernel(step.kernel, arg_buffers,
+                                         out_buffers, step.cost)
+                for node_id in step.releases:
+                    buffers[node_id].release()
+
+            result = env.queue.enqueue_read_buffer(buffers[self.output_id])
+        finally:
+            # Mid-run failures (OOM on a stage output) must not leak the
+            # already-uploaded sources; release is idempotent.
+            for buf in buffers.values():
+                buf.release()
+
+        if result is None:
+            return None
+        output = result
+        if self.reshape_output:
+            output = output.reshape(self.n, -1)
+        return self._broadcast(output)
+
+
 class FusionStrategy(ExecutionStrategy):
     """Single (or minimal) kernel execution with register intermediates."""
 
@@ -158,19 +226,16 @@ class FusionStrategy(ExecutionStrategy):
                 arrays: Mapping[str, BindingInput],
                 env: CLEnvironment) -> ExecutionReport:
         bindings, n, dtype = self._prepare(network, arrays)
-        dry = env.dry_run
-        stages, materialize = plan_stages(network)
-        output_id = network.output_ids()[0]
+        plan = self.build_plan(network, bindings, n, dtype)
+        return plan.run(bindings, env)
 
-        # Upload each input exactly once (Dev-W = number of sources).
-        buffers: dict[str, Buffer] = {}
-        for source_id in network.live_sources():
-            binding = bindings[source_id]
-            if dry:
-                buffers[source_id] = env.upload_shape(
-                    binding.nbytes, source_id)
-            else:
-                buffers[source_id] = env.upload(binding.data, source_id)
+    def build_plan(self, network: Network,
+                   bindings: Mapping[str, Binding],
+                   n: int, dtype: np.dtype) -> FusionPlan:
+        """Plan stages, generate + validate OpenCL C, and exec-compile the
+        NumPy executors — all the value-independent work."""
+        stages, _materialize = plan_stages(network)
+        output_id = network.output_ids()[0]
 
         # Last stage that reads each materialized value, for eager release.
         last_read: dict[str, int] = {}
@@ -179,41 +244,40 @@ class FusionStrategy(ExecutionStrategy):
                 last_read[node_id] = stage.index
 
         sources_out: dict[str, str] = {}
+        steps: list[_StageStep] = []
         for stage in stages:
             if not stage.nodes:
                 continue  # degenerate network (output is a bare source)
             kernel, cost, cl_source = self._generate(
                 network, stage, bindings, n, dtype)
             sources_out[kernel.name] = cl_source
-            validate_source(cl_source)
+            validate_source_cached(cl_source)
 
-            out_buffers = []
-            for node_id in stage.writes:
-                nbytes = self._node_nbytes(network, node_id, bindings,
-                                           n, dtype)
-                buf = env.create_buffer(nbytes, node_id)
-                buffers[node_id] = buf
-                out_buffers.append(buf)
-            arg_buffers = [buffers[node_id] for node_id in stage.reads]
-            env.queue.enqueue_kernel(kernel, arg_buffers, out_buffers, cost)
+            writes = tuple(
+                (node_id,
+                 self._node_nbytes(network, node_id, bindings, n, dtype))
+                for node_id in stage.writes)
+            releases = tuple(
+                node_id for node_id in stage.reads
+                if network.spec.node(node_id).filter != SOURCE
+                and last_read.get(node_id, -1) == stage.index
+                and node_id != output_id)
+            steps.append(_StageStep(kernel=kernel, cost=cost,
+                                    reads=tuple(stage.reads),
+                                    writes=writes, releases=releases))
 
-            for node_id in stage.reads:
-                node = network.spec.node(node_id)
-                if node.filter != SOURCE and last_read.get(
-                        node_id, -1) == stage.index and node_id != output_id:
-                    buffers[node_id].release()
-
-        result = env.queue.enqueue_read_buffer(buffers[output_id])
-        output: Optional[np.ndarray] = None
-        if result is not None:
-            output = result
-            if network.kind_of(output_id) is ResultKind.VECTOR \
-                    and not network.uniform(output_id):
-                output = output.reshape(n, -1)
-            output = self._broadcast_output(output, network, output_id, n)
-        for buf in buffers.values():
-            buf.release()
-        return self._report(env, output, sources_out)
+        return FusionPlan(
+            stages=tuple(steps),
+            reshape_output=(network.kind_of(output_id) is ResultKind.VECTOR
+                            and not network.uniform(output_id)),
+            strategy_name=self.name,
+            source_order=tuple(network.live_sources()),
+            n=n, dtype=dtype,
+            output_id=output_id,
+            output_kind=network.kind_of(output_id),
+            output_uniform=network.uniform(output_id),
+            generated_sources=sources_out,
+        )
 
     # -- code generation -------------------------------------------------------
 

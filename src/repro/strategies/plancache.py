@@ -1,0 +1,249 @@
+"""Warm-path execution: executable plans and the LRU plan cache.
+
+The paper amortizes *parsing* (tables built once, expressions compiled per
+time step change) but every ``execute()`` still re-plans stages, regenerates
+and revalidates OpenCL C, re-``exec``-compiles NumPy executors, and
+re-reserves every device buffer.  For the in-situ workload the paper
+targets — the same compiled expression applied to each new time step — all
+of that is loop-invariant.  PyOpenCL keys a persistent compiled-kernel
+cache by (source, device) for exactly this reason, and Loo.py separates
+one-time transformation/codegen from repeated invocation.
+
+An :class:`ExecutablePlan` captures everything execution needs that does
+not depend on array *values*: the planned step/stage sequence, generated
+(and validated) OpenCL C, compiled :class:`~repro.clsim.kernel.Kernel`
+objects with their exec'd Python executors, precomputed per-node byte
+sizes and :class:`~repro.clsim.perfmodel.KernelCost` models.  A warm
+``run()`` only binds input arrays, launches, and reads back — producing
+the *identical* event sequence, allocation order, and bitwise-identical
+output of a cold run.
+
+Strategies that support planning implement ``build_plan()`` and route
+their own ``execute()`` through it, so cold and warm paths share one code
+path by construction.  :class:`PlanCache` (held by
+:class:`~repro.host.engine.DerivedFieldEngine`) is an LRU keyed by
+:class:`PlanKey` — a content hash of the network structure plus every
+execution-relevant parameter — with hit/miss/evict counters surfaced in
+:class:`~repro.strategies.base.ExecutionReport`.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..clsim.environment import CLEnvironment
+from ..dataflow.network import Network
+from ..dataflow.spec import CONST, SOURCE
+from ..primitives.base import ResultKind, VECTOR_WIDTH
+from .base import ExecutionReport
+from .bindings import Binding
+
+__all__ = ["ExecutablePlan", "PlanKey", "PlanCache", "CacheInfo",
+           "network_signature", "plan_key"]
+
+DEFAULT_PLAN_CACHE_SIZE = 32
+
+
+def network_signature(network: Network) -> tuple[str, tuple[str, ...]]:
+    """Content-hash the network's *structure*: filters, parameters, and
+    topology over canonical node indices, with source/alias names erased.
+
+    Returns ``(digest, source_ids)`` where ``source_ids`` are the live
+    sources in schedule order — the plan's positional binding order.  Two
+    structurally identical expressions (``t = u*v`` vs ``s = p*q``) hash
+    equal and can share one executable plan; bindings are rebound
+    positionally on a hit.
+
+    The result is memoized on the network instance (a ``Network`` is fully
+    derived in ``__init__`` and immutable afterward) — hashing ~30 nodes
+    costs a noticeable slice of a warm execute otherwise.
+    """
+    cached = getattr(network, "_plan_signature", None)
+    if cached is not None:
+        return cached
+    schedule = network.schedule()
+    index = {node.id: i for i, node in enumerate(schedule)}
+    parts: list[tuple] = []
+    for node in schedule:
+        if node.filter == SOURCE:
+            parts.append((SOURCE, network.kind_of(node.id).name))
+        elif node.filter == CONST:
+            parts.append((CONST, repr(node.param("value"))))
+        else:
+            parts.append((node.filter,
+                          tuple(index[i] for i in node.inputs),
+                          node.params))
+    outputs = tuple(index[o] for o in network.output_ids())
+    digest = hashlib.sha1(repr((parts, outputs)).encode()).hexdigest()
+    sources = tuple(node.id for node in schedule if node.filter == SOURCE)
+    network._plan_signature = (digest, sources)
+    return network._plan_signature
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Everything a cached plan's validity depends on.
+
+    ``signature`` covers network structure; ``source_shapes`` covers every
+    bound array's shape/dtype (two grids can share an element count but
+    differ in coordinate-array sizes); the rest cover the execution
+    configuration.  Any change produces a different key — i.e. a miss.
+    """
+
+    signature: str
+    strategy: tuple
+    dtype: np.dtype       # np.dtype objects hash/compare by value
+    n: int
+    source_shapes: tuple
+    device: tuple
+    backend: str
+
+
+def plan_key(network: Network, strategy, bindings: Mapping[str, Binding],
+             n: int, dtype: np.dtype, device, backend: str,
+             ) -> tuple["PlanKey", tuple[str, ...]]:
+    """Assemble the cache key for one execution; also returns the current
+    network's source order (for positional rebinding on a hit)."""
+    signature, sources = network_signature(network)
+    shapes = tuple((bindings[s].spec.shape, bindings[s].spec.dtype)
+                   for s in sources)
+    key = PlanKey(
+        signature=signature,
+        strategy=strategy.plan_token(),
+        dtype=np.dtype(dtype),
+        n=n,
+        source_shapes=shapes,
+        device=(device.name, device.global_mem_bytes),
+        backend=backend,
+    )
+    return key, sources
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Plan-cache counters surfaced on every warm-path ExecutionReport."""
+
+    hit: bool          # did THIS execution reuse a cached plan?
+    hits: int          # lifetime totals for the owning cache
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+
+class PlanCache:
+    """Bounded LRU of :class:`ExecutablePlan` keyed by :class:`PlanKey`."""
+
+    def __init__(self, maxsize: int = DEFAULT_PLAN_CACHE_SIZE):
+        if maxsize < 1:
+            raise ValueError(f"plan cache maxsize must be >= 1: {maxsize}")
+        self.maxsize = maxsize
+        self._plans: "OrderedDict[PlanKey, ExecutablePlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: PlanKey) -> "Optional[ExecutablePlan]":
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: PlanKey, plan: "ExecutablePlan") -> None:
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+
+    def info(self, hit: bool) -> CacheInfo:
+        return CacheInfo(hit=hit, hits=self.hits, misses=self.misses,
+                         evictions=self.evictions, size=len(self._plans),
+                         maxsize=self.maxsize)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+
+class ExecutablePlan(abc.ABC):
+    """A fully-compiled, value-independent execution recipe.
+
+    Subclasses (one per plannable strategy) capture the strategy-specific
+    step sequence at build time; :meth:`launch` replays it against fresh
+    bindings.  The plan holds no :class:`~repro.clsim.buffer.Buffer` or
+    array data — only sizes, kernels, and costs — so one plan instance can
+    run any number of times, on any environment of the same device/backend.
+    """
+
+    def __init__(self, strategy_name: str, source_order: tuple[str, ...],
+                 n: int, dtype: np.dtype, output_id: str,
+                 output_kind: ResultKind, output_uniform: bool,
+                 generated_sources: dict[str, str]):
+        self.strategy_name = strategy_name
+        self.source_order = source_order
+        self.n = n
+        self.dtype = np.dtype(dtype)
+        self.output_id = output_id
+        self.output_kind = output_kind
+        self.output_uniform = output_uniform
+        self.generated_sources = generated_sources
+
+    @abc.abstractmethod
+    def launch(self, bindings: Mapping[str, Binding],
+               env: CLEnvironment) -> Optional[np.ndarray]:
+        """Bind arrays, enqueue the recorded transfers/kernels, and return
+        the raw output (None when planning dry)."""
+
+    def run(self, bindings: Mapping[str, Binding],
+            env: CLEnvironment) -> ExecutionReport:
+        """Execute and assemble the instrumented report."""
+        output = self.launch(bindings, env)
+        return ExecutionReport(
+            strategy=self.strategy_name,
+            output=output,
+            counts=env.event_counts(),
+            timing=env.timing(),
+            mem_high_water=env.mem_high_water,
+            generated_sources=dict(self.generated_sources),
+        )
+
+    def rebind(self, bindings: Mapping[str, Binding],
+               current_sources: tuple[str, ...],
+               ) -> Mapping[str, Binding]:
+        """Remap bindings keyed by another (structurally identical)
+        network's source names onto this plan's names, positionally."""
+        if current_sources == self.source_order:
+            return bindings
+        return {mine: bindings[theirs]
+                for mine, theirs in zip(self.source_order, current_sources)}
+
+    # -- shared launch helpers ------------------------------------------------
+
+    @property
+    def output_components(self) -> int:
+        return VECTOR_WIDTH if self.output_kind is ResultKind.VECTOR else 1
+
+    def _broadcast(self, output: Optional[np.ndarray],
+                   ) -> Optional[np.ndarray]:
+        """Expand a uniform result to the full problem size on return."""
+        if output is None or not self.output_uniform:
+            return output
+        components = self.output_components
+        shape = (self.n,) if components == 1 else (self.n, components)
+        return np.ascontiguousarray(
+            np.broadcast_to(output.reshape(1, -1)[0], shape))

@@ -11,24 +11,121 @@ launches than roundtrip for the gradient-based expressions.
 The payoff for all this traffic: device global memory only ever holds one
 kernel's working set, making roundtrip the least memory-constrained
 strategy (it can process data sets the faster strategies cannot fit).
+
+Execution is split into :meth:`RoundtripStrategy.build_plan` (schedule
+walk, kernel generation, byte/cost precomputation — everything that does
+not depend on array values) and :class:`RoundtripPlan.launch` (bind,
+transfer, launch, read back).  A cold ``execute()`` is build + launch; a
+warm execution through the engine's plan cache replays the same launch
+against new arrays.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping, Optional
 
 import numpy as np
 
 from ..clsim.environment import CLEnvironment
+from ..clsim.kernel import Kernel
 from ..clsim.perfmodel import KernelCost
 from ..dataflow.network import Network
 from ..dataflow.spec import CONST, SOURCE
 from ..primitives.base import ResultKind
 from .base import ExecutionReport, ExecutionStrategy
-from .bindings import BindingInput
+from .bindings import Binding, BindingInput
 from .kernelgen import ARRAY, CONST_BUF, KernelCache, VECTOR
+from .plancache import ExecutablePlan
 
-__all__ = ["RoundtripStrategy"]
+__all__ = ["RoundtripStrategy", "RoundtripPlan"]
+
+
+@dataclass(frozen=True)
+class _Step:
+    """One scheduled node, fully resolved at plan-build time."""
+
+    op: str                              # "source" | "const" | "decompose"
+    node_id: str                         # | "kernel"
+    value: float = 0.0                   # const
+    source_id: str = ""                  # decompose input
+    component: int = 0                   # decompose
+    inputs: tuple[str, ...] = ()         # kernel arguments (node ids)
+    input_nbytes: tuple[int, ...] = ()   # kernel argument buffer sizes
+    out_nbytes: int = 0
+    kernel: Optional[Kernel] = None
+    cost: Optional[KernelCost] = None
+    is_vector: bool = False              # reshape result to (n, width)
+
+
+class RoundtripPlan(ExecutablePlan):
+    """Replayable roundtrip schedule: per-node kernels and buffer sizes."""
+
+    def __init__(self, *, steps: tuple[_Step, ...], **common):
+        super().__init__(**common)
+        self.steps = steps
+
+    def launch(self, bindings: Mapping[str, Binding],
+               env: CLEnvironment) -> Optional[np.ndarray]:
+        dry = env.dry_run
+        # Host-side values for every node (None when planning).
+        values: dict[str, Optional[np.ndarray]] = {}
+        output: Optional[np.ndarray] = None
+        live = []
+        try:
+            for step in self.steps:
+                if step.op == "source":
+                    values[step.node_id] = bindings[step.node_id].data
+                    continue
+                if step.op == "const":
+                    values[step.node_id] = (
+                        None if dry
+                        else np.full(1, step.value, dtype=self.dtype))
+                    continue
+                if step.op == "decompose":
+                    # Host-side component selection: no device events.
+                    values[step.node_id] = (
+                        None if dry else np.ascontiguousarray(
+                            values[step.source_id][:, step.component]))
+                    if step.node_id == self.output_id:
+                        output = values[step.node_id]
+                    continue
+
+                # Upload one fresh buffer per argument occurrence.
+                arg_buffers = []
+                for input_id, nbytes in zip(step.inputs, step.input_nbytes):
+                    if dry:
+                        buf = env.upload_shape(nbytes, input_id)
+                    else:
+                        buf = env.upload(values[input_id], input_id)
+                    live.append(buf)
+                    arg_buffers.append(buf)
+                out_buf = env.create_buffer(step.out_nbytes, step.node_id)
+                live.append(out_buf)
+
+                env.queue.enqueue_kernel(step.kernel, arg_buffers, out_buf,
+                                         step.cost)
+                result = env.queue.enqueue_read_buffer(out_buf)
+                if result is not None and step.is_vector:
+                    result = result.reshape(self.n, -1)
+                values[step.node_id] = result
+                if step.node_id == self.output_id:
+                    output = result
+
+                for buf in arg_buffers:
+                    buf.release()
+                out_buf.release()
+        finally:
+            # A mid-run failure (OOM, validation) must not leak device
+            # bytes from the allocator; release is idempotent.
+            for buf in live:
+                buf.release()
+
+        if output is None and not dry:
+            # Degenerate network: the output is a source, constant, or a
+            # host-side decompose — already in host memory, no kernels.
+            output = values.get(self.output_id)
+        return self._broadcast(output)
 
 
 class RoundtripStrategy(ExecutionStrategy):
@@ -40,31 +137,31 @@ class RoundtripStrategy(ExecutionStrategy):
                 arrays: Mapping[str, BindingInput],
                 env: CLEnvironment) -> ExecutionReport:
         bindings, n, dtype = self._prepare(network, arrays)
+        plan = self.build_plan(network, bindings, n, dtype)
+        return plan.run(bindings, env)
+
+    def build_plan(self, network: Network,
+                   bindings: Mapping[str, Binding],
+                   n: int, dtype: np.dtype) -> RoundtripPlan:
+        """Resolve the schedule to value-independent steps: generated
+        kernels, argument kinds, buffer sizes, and modeled costs."""
         cache = KernelCache(dtype)
         registry = network.registry
-        dry = env.dry_run
-
-        # Host-side values for every node (None when planning).
-        values: dict[str, Optional[np.ndarray]] = {}
         output_id = network.output_ids()[0]
-        output: Optional[np.ndarray] = None
+        steps: list[_Step] = []
 
         for node in network.schedule():
             if node.filter == SOURCE:
-                values[node.id] = bindings[node.id].data
+                steps.append(_Step("source", node.id))
                 continue
             if node.filter == CONST:
-                values[node.id] = (None if dry else
-                                   np.full(1, node.param("value"),
-                                           dtype=dtype))
+                steps.append(_Step("const", node.id,
+                                   value=float(node.param("value"))))
                 continue
             if node.filter == "decompose":
-                # Host-side component selection: no device events at all.
-                component = node.param("component")
-                values[node.id] = (None if dry else np.ascontiguousarray(
-                    values[node.inputs[0]][:, component]))
-                if node.id == output_id:
-                    output = values[node.id]
+                steps.append(_Step(
+                    "decompose", node.id, source_id=node.inputs[0],
+                    component=int(node.param("component"))))
                 continue
 
             primitive = registry.get(node.filter)
@@ -78,47 +175,31 @@ class RoundtripStrategy(ExecutionStrategy):
                 else:
                     arg_kinds.append(ARRAY)
 
-            # Upload one fresh buffer per argument occurrence.
-            arg_buffers = []
-            traffic = 0
-            for input_id in node.inputs:
-                nbytes = self._node_nbytes(network, input_id, bindings,
-                                           n, dtype)
-                traffic += nbytes
-                if dry:
-                    arg_buffers.append(env.upload_shape(nbytes, input_id))
-                else:
-                    arg_buffers.append(env.upload(values[input_id],
-                                                  input_id))
-
+            input_nbytes = tuple(
+                self._node_nbytes(network, input_id, bindings, n, dtype)
+                for input_id in node.inputs)
             out_nbytes = self._node_nbytes(network, node.id, bindings,
                                            n, dtype)
-            out_buf = env.create_buffer(out_nbytes, node.id)
-            traffic += out_nbytes
-
             kernel = cache.primitive_kernel(primitive, arg_kinds)
             cost = KernelCost(
-                global_bytes=traffic,
+                global_bytes=sum(input_nbytes) + out_nbytes,
                 flops=primitive.flops_per_element * n,
                 register_words=4,
                 itemsize=dtype.itemsize,
                 elements=n)
-            env.queue.enqueue_kernel(kernel, arg_buffers, out_buf, cost)
-            result = env.queue.enqueue_read_buffer(out_buf)
-            if result is not None and network.kind_of(
-                    node.id) is ResultKind.VECTOR:
-                result = result.reshape(n, -1)
-            values[node.id] = result
-            if node.id == output_id:
-                output = result
+            steps.append(_Step(
+                "kernel", node.id, inputs=node.inputs,
+                input_nbytes=input_nbytes, out_nbytes=out_nbytes,
+                kernel=kernel, cost=cost,
+                is_vector=network.kind_of(node.id) is ResultKind.VECTOR))
 
-            for buf in arg_buffers:
-                buf.release()
-            out_buf.release()
-
-        if output is None and not dry:
-            # Degenerate network: the output is a source, constant, or a
-            # host-side decompose — already in host memory, no kernels.
-            output = values.get(output_id)
-        output = self._broadcast_output(output, network, output_id, n)
-        return self._report(env, output, cache.sources())
+        return RoundtripPlan(
+            steps=tuple(steps),
+            strategy_name=self.name,
+            source_order=tuple(network.live_sources()),
+            n=n, dtype=dtype,
+            output_id=output_id,
+            output_kind=network.kind_of(output_id),
+            output_uniform=network.uniform(output_id),
+            generated_sources=cache.sources(),
+        )

@@ -125,3 +125,83 @@ class TestBuffer:
         assert "live" in repr(buf)
         buf.release()
         assert "released" in repr(buf)
+
+
+class TestSizeClass:
+    def test_minimum_class(self):
+        from repro.clsim.buffer import size_class
+        assert size_class(1) == 64
+        assert size_class(64) == 64
+
+    def test_power_of_two_rounding(self):
+        from repro.clsim.buffer import size_class
+        assert size_class(65) == 128
+        assert size_class(128) == 128
+        assert size_class(129) == 256
+        assert size_class(1000) == 1024
+
+
+class TestBufferPool:
+    @pytest.fixture
+    def pool(self, allocator):
+        from repro.clsim.buffer import BufferPool
+        return BufferPool(allocator)
+
+    def test_miss_then_hit(self, allocator, pool):
+        assert pool.acquire(100) is None          # cold: nothing parked
+        buf = Buffer(allocator, 100, capacity=pool.capacity_for(100),
+                     pool=pool)
+        buf.release()                              # parks 128 B
+        assert pool.pooled_bytes == 128
+        recycled = pool.acquire(100)
+        assert recycled is not None
+        assert pool.pooled_bytes == 0
+        assert (pool.hits, pool.misses) == (1, 1)
+
+    def test_pooled_release_keeps_bytes_reserved(self, allocator, pool):
+        buf = Buffer(allocator, 100, capacity=pool.capacity_for(100),
+                     pool=pool)
+        buf.release()
+        # Parked, not returned: the device still holds the reservation.
+        assert allocator.current_bytes == 128
+        assert pool.trim() == 128
+        assert allocator.current_bytes == 0
+
+    def test_reuse_never_aliases_previous_data(self, allocator, pool):
+        data = np.arange(16, dtype=np.float64)
+        buf = Buffer(allocator, data.nbytes,
+                     capacity=pool.capacity_for(data.nbytes), pool=pool)
+        buf.set_data(data)
+        device_copy = buf.data
+        buf.release()
+        recycled = pool.acquire(data.nbytes)
+        # A recycled buffer starts empty: only the byte reservation is
+        # reused, never storage, so stale values cannot leak through.
+        assert recycled.data is None
+        fresh = np.full(16, 7.0)
+        recycled.set_data(fresh)
+        assert recycled.data is not device_copy
+        np.testing.assert_array_equal(device_copy, data)
+
+    def test_reuse_counts_as_reused_allocation(self, allocator, pool):
+        Buffer(allocator, 50, capacity=pool.capacity_for(50),
+               pool=pool).release()
+        pool.acquire(50)
+        stats = allocator.stats(pool)
+        assert stats.total_allocations == 1
+        assert stats.reused_allocations == 1
+        assert stats.pool_returns == 1
+
+    def test_different_class_misses(self, allocator, pool):
+        Buffer(allocator, 64, capacity=pool.capacity_for(64),
+               pool=pool).release()
+        assert pool.acquire(300) is None           # 512-class, not 64
+
+    def test_unpooled_accounting_unchanged(self, allocator):
+        """Cold-path buffers (no pool) reserve exactly nbytes — the
+        paper's Fig 6 accounting is untouched by the pool's existence."""
+        buf = Buffer(allocator, 100)
+        assert buf.capacity == 100
+        assert allocator.current_bytes == 100
+        buf.release()
+        assert allocator.current_bytes == 0
