@@ -1,0 +1,127 @@
+"""Bench: service throughput/latency scaling across device workers.
+
+Drives the concurrent service with the closed-loop load generator and
+measures how throughput scales from one device worker to two on the
+fusion strategy.  Wall-clock throughput of the *simulated* devices is
+GIL-bound (every "device" executes vectorized NumPy in one process), so
+the scaling claim is made on the **modeled** timeline — served requests
+per modeled makespan, where the makespan is the busiest device's
+accumulated simulated seconds (the same parallel-makespan aggregation
+the multi-device strategy reports).  That is the quantity a real
+multi-device deployment scales.
+
+Acceptance (ISSUE 2): a 2-device fusion run must sustain >= 1.5x the
+modeled throughput of a 1-device run, with zero dropped requests and a
+warm plan cache.
+
+Runs two ways:
+
+* under pytest (the bench suite): writes ``bench_service.json``;
+* standalone: ``python benchmarks/bench_service.py [--smoke]`` for the
+  CI smoke step (reduced request count, same assertions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.service import DerivedFieldService, default_cases, run_load
+from repro.workloads import SubGrid, make_fields
+
+GRID = SubGrid(8, 8, 12)
+CLIENTS = 8
+REQUESTS = 360
+SMOKE_REQUESTS = 120
+SCALING_FLOOR = 1.5
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _run_fleet(devices, cases, requests, clients) -> dict:
+    with DerivedFieldService(devices=devices, strategy="fusion",
+                             queue_depth=max(2 * clients, 16)) as service:
+        report = run_load(service, cases, clients=clients,
+                          requests=requests)
+    report["devices_config"] = list(devices)
+    return report
+
+
+def run_bench(requests: int = REQUESTS, clients: int = CLIENTS) -> dict:
+    fields = make_fields(GRID, seed=13)
+    cases = default_cases(fields)
+
+    fleets = {
+        "cpu_x1": ("cpu",),
+        "cpu_x2": ("cpu", "cpu"),
+        "cpu_gpu": ("cpu", "gpu"),
+    }
+    runs = {name: _run_fleet(devices, cases, requests, clients)
+            for name, devices in fleets.items()}
+
+    t1 = runs["cpu_x1"]["throughput_rps_modeled"]
+    t2 = runs["cpu_x2"]["throughput_rps_modeled"]
+    artifact = {
+        "grid": GRID.label(),
+        "n_cells": GRID.n_cells,
+        "requests": requests,
+        "clients": clients,
+        "strategy": "fusion",
+        "modeled_scaling_2dev": t2 / t1,
+        "runs": runs,
+    }
+
+    for name, run in runs.items():
+        assert run["dropped"] == 0, \
+            f"{name}: {run['dropped']} requests dropped on the floor"
+        assert run["outcomes"]["served"] == requests, \
+            f"{name}: only {run['outcomes']['served']}/{requests} served"
+        assert run["plan_cache"]["hit_rate"] > 0.0, \
+            f"{name}: plan cache never hit"
+    # The acceptance bar: 2 fusion device workers sustain >= 1.5x the
+    # modeled throughput of 1.
+    assert t2 / t1 >= SCALING_FLOOR, \
+        f"2-device modeled throughput only {t2 / t1:.2f}x 1-device"
+    return artifact
+
+
+def test_bench_service_artifact(results_dir):
+    artifact = run_bench()
+    content = json.dumps(artifact, indent=2)
+    (results_dir / "bench_service.json").write_text(content + "\n")
+    print(f"\n[written to benchmarks/results/bench_service.json]")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="service throughput/latency scaling bench")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced request count (CI smoke)")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--clients", type=int, default=CLIENTS)
+    args = parser.parse_args(argv)
+    requests = args.requests if args.requests is not None else (
+        SMOKE_REQUESTS if args.smoke else REQUESTS)
+
+    artifact = run_bench(requests=requests, clients=args.clients)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "bench_service.json"
+    out.write_text(json.dumps(artifact, indent=2) + "\n")
+    scaling = artifact["modeled_scaling_2dev"]
+    for name, run in artifact["runs"].items():
+        print(f"{name}: served {run['outcomes']['served']}"
+              f"/{run['requests']}, "
+              f"{run['throughput_rps_modeled']:.0f} req/s modeled, "
+              f"{run['throughput_rps_wall']:.0f} req/s wall, "
+              f"cache hit rate "
+              f"{100 * run['plan_cache']['hit_rate']:.1f}%")
+    print(f"2-device vs 1-device modeled throughput: {scaling:.2f}x "
+          f"(floor {SCALING_FLOOR}x)")
+    print(f"[written to {out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,7 +40,7 @@ class ChunkedFusionStrategy(ExecutionStrategy):
         self._fusion = FusionStrategy()
 
     def execute(self, network, arrays, env: CLEnvironment):
-        bindings, n, dtype = self._prepare(network, arrays)
+        bindings, n, dtype = self.prepare(network, arrays)
         stages, _ = plan_stages(network)
         if len(stages) != 1 or any(
                 network.registry.get(node.filter).call_style.name

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands mirror the ways the paper's framework is used:
+The subcommands mirror the ways the paper's framework is used:
 
 * ``derive`` — evaluate an expression over a synthetic workload (or show
   its generated OpenCL) on a chosen device/strategy;
@@ -8,7 +8,9 @@ Four subcommands mirror the ways the paper's framework is used:
 * ``render`` — run the in-situ pipeline and write a pseudocolor PPM image
   of a derived-field slice (the Fig 7 visualization);
 * ``plan`` — dry-run one configuration at full paper scale and report its
-  memory requirement and modeled runtime.
+  memory requirement and modeled runtime;
+* ``serve`` — run the concurrent multi-device service under a closed-loop
+  synthetic load and print the latency/throughput/utilization report.
 """
 
 from __future__ import annotations
@@ -188,6 +190,48 @@ def cmd_plan(args) -> int:
     return 1 if result.failed else 0
 
 
+def cmd_serve(args) -> int:
+    import json
+
+    from .service import (DerivedFieldService, default_cases,
+                          format_load_report, run_load)
+
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    for device in devices:
+        if device not in ("cpu", "gpu"):
+            raise SystemExit(f"bad --devices entry {device!r}; "
+                             "expected a comma list of cpu/gpu")
+    names = ([e.strip() for e in args.expressions.split(",") if e.strip()]
+             if args.expressions else None)
+    grid = _parse_grid(args.grid)
+    fields = make_fields(grid, seed=args.seed)
+    try:
+        cases = default_cases(fields, names)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    print(f"serving {sorted({c.name for c in cases})} over "
+          f"{grid.n_cells:,} cells on devices {devices} "
+          f"({args.strategy}), queue depth {args.queue_depth}")
+    with DerivedFieldService(devices=devices, strategy=args.strategy,
+                             queue_depth=args.queue_depth,
+                             default_timeout=args.timeout) as service:
+        report = run_load(service, cases, clients=args.clients,
+                          requests=args.requests)
+        snapshot = service.snapshot()
+    print(format_load_report(report))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"load": report, "metrics": snapshot}, handle,
+                      indent=2)
+        print(f"wrote load report + metrics snapshot to {args.json}")
+    if report["dropped"]:
+        print(f"ERROR: {report['dropped']} requests dropped on the floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,6 +272,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--axis", type=int, default=2, choices=(0, 1, 2))
     p.add_argument("--output", default="derived.ppm")
     p.set_defaults(fn=cmd_render)
+
+    p = sub.add_parser("serve",
+                       help="run the concurrent service under synthetic "
+                            "load and report latency/throughput")
+    p.add_argument("--devices", default="cpu",
+                   help="comma list of worker devices, e.g. cpu,gpu "
+                        "(repeat a device for more workers)")
+    p.add_argument("--strategy",
+                   choices=("roundtrip", "staged", "fusion"),
+                   default="fusion")
+    p.add_argument("--clients", type=int, default=8,
+                   help="closed-loop client threads (default 8)")
+    p.add_argument("--requests", type=int, default=500,
+                   help="total requests to issue (default 500)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="admission queue depth; beyond it requests are "
+                        "rejected with backpressure (default 64)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-request deadline in seconds (default none)")
+    p.add_argument("--expressions", default=None,
+                   help="comma list of paper expressions to serve "
+                        "(default: all three)")
+    p.add_argument("--grid", default="16x16x32",
+                   help="cell dims NIxNJxNK of the synthetic workload")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the load report and metrics snapshot "
+                        "as JSON")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("plan",
                        help="dry-run one full-scale configuration")

@@ -23,6 +23,7 @@ stays honest.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -135,11 +136,18 @@ class BufferPool:
     previously released one.  A released pooled buffer keeps its bytes
     reserved on the device (they count against the OOM limit, exactly as a
     real ``MemoryPool`` would) until :meth:`trim` hands them back.
+
+    Thread-safe: a single lock serializes park/acquire/trim and the
+    counters, so pooled warm state can be shared by concurrent executions
+    (the service's shared-engine path).  One reservation is handed to at
+    most one acquirer by construction — the free-list decrement happens
+    under the lock.
     """
 
     def __init__(self, allocator: Allocator):
         self.allocator = allocator
         self._free: dict[int, int] = {}   # capacity -> parked reservations
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.returns = 0
@@ -153,35 +161,39 @@ class BufferPool:
                 dry: bool = False) -> "Optional[Buffer]":
         """Return a recycled buffer for ``nbytes``, or None on a miss."""
         capacity = self.capacity_for(nbytes)
-        if self._free.get(capacity, 0) > 0:
-            self._free[capacity] -= 1
-            self.pooled_bytes -= capacity
-            self.hits += 1
-            self.bytes_reused += capacity
-            self.allocator.reused_allocations += 1
-            return Buffer._adopt(self.allocator, nbytes, capacity=capacity,
-                                 label=label, dry=dry, pool=self)
-        self.misses += 1
-        return None
+        with self._lock:
+            if self._free.get(capacity, 0) > 0:
+                self._free[capacity] -= 1
+                self.pooled_bytes -= capacity
+                self.hits += 1
+                self.bytes_reused += capacity
+                self.allocator.reused_allocations += 1
+                return Buffer._adopt(self.allocator, nbytes,
+                                     capacity=capacity, label=label,
+                                     dry=dry, pool=self)
+            self.misses += 1
+            return None
 
     def _park(self, capacity: int) -> None:
         """Take back a released buffer's reservation (internal: called by
         :meth:`Buffer.release`)."""
-        self._free[capacity] = self._free.get(capacity, 0) + 1
-        self.pooled_bytes += capacity
-        self.returns += 1
+        with self._lock:
+            self._free[capacity] = self._free.get(capacity, 0) + 1
+            self.pooled_bytes += capacity
+            self.returns += 1
 
     def trim(self) -> int:
         """Release every parked reservation back to the allocator; returns
         the number of bytes freed."""
-        freed = 0
-        for capacity, count in self._free.items():
-            for _ in range(count):
-                self.allocator.release(capacity)
-                freed += capacity
-        self._free.clear()
-        self.pooled_bytes = 0
-        return freed
+        with self._lock:
+            freed = 0
+            for capacity, count in self._free.items():
+                for _ in range(count):
+                    self.allocator.release(capacity)
+                    freed += capacity
+            self._free.clear()
+            self.pooled_bytes = 0
+            return freed
 
 
 class Buffer:

@@ -77,5 +77,29 @@ class HostInterfaceError(ReproError):
     """Bad inputs handed to the in-situ host interface."""
 
 
+class ServiceError(ReproError):
+    """Base class for the derived-field service layer."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission queue at capacity; the request was rejected (backpressure)."""
+
+    def __init__(self, message: str, depth: int = 0):
+        super().__init__(message)
+        self.depth = depth
+
+
+class ServiceClosed(ServiceError):
+    """The service is shut down (or shutting down) and takes no new work."""
+
+
+class RequestTimedOut(ServiceError):
+    """A request's deadline expired before it could be served."""
+
+
+class RequestCancelled(ServiceError):
+    """A request was cancelled by the client before it ran."""
+
+
 class MPIError(ReproError):
     """Error in the simulated MPI layer."""

@@ -21,6 +21,7 @@ event counts, and modeled timings are identical to a cold run's.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Mapping, Optional, Union
 
@@ -28,6 +29,7 @@ import numpy as np
 
 from ..clsim.device import DeviceSpec, DeviceType
 from ..clsim.environment import CLEnvironment
+from ..clsim.platform import find_device
 from ..dataflow.network import Network
 from ..dataflow.script import render_script
 from ..errors import HostInterfaceError
@@ -36,10 +38,11 @@ from ..expr.optimize import eliminate_common_subexpressions
 from ..expr.parser import parse
 from ..primitives.base import PrimitiveRegistry, ResultKind
 from ..strategies import ExecutionReport, ExecutionStrategy, get_strategy
-from ..strategies.bindings import ArraySpec, BindingInput
-from ..strategies.plancache import PlanCache, plan_key
+from ..strategies.bindings import ArraySpec, Binding, BindingInput
+from ..strategies.plancache import PlanCache, PlanKey, plan_key
 
-__all__ = ["CompiledExpression", "DerivedFieldEngine"]
+__all__ = ["CompiledExpression", "DerivedFieldEngine",
+           "PreparedExecution"]
 
 
 @dataclass(frozen=True)
@@ -57,6 +60,31 @@ class CompiledExpression:
     def definition_script(self) -> str:
         """The inspectable Python script of network-API calls."""
         return render_script(self.network.spec)
+
+
+@dataclass(frozen=True)
+class PreparedExecution:
+    """Everything the engine derives from a request before running it.
+
+    The public prepare/plan path: :meth:`DerivedFieldEngine.prepare`
+    validates the request, normalizes its bindings, sizes the problem,
+    and (on the cached path) assembles the plan-cache key.  Hosts that
+    schedule work — notably :class:`~repro.service.DerivedFieldService` —
+    prepare once, route on ``key``, and hand the prepared request to a
+    worker's :meth:`DerivedFieldEngine.execute_prepared`.
+
+    ``key`` is ``None`` when this engine bypasses the plan cache
+    (``plan_cache=False``, dry-run, or a strategy without ``build_plan``).
+    ``sources`` is the network's source order, for positional rebinding
+    on a structural cache hit.
+    """
+
+    compiled: CompiledExpression
+    bindings: Mapping[str, Binding]
+    n: int
+    dtype: np.dtype
+    key: Optional[PlanKey]
+    sources: tuple[str, ...]
 
 
 class DerivedFieldEngine:
@@ -85,6 +113,8 @@ class DerivedFieldEngine:
                  plan_cache: Union[bool, int, PlanCache] = True,
                  pooling: bool = True):
         self.device = device
+        self.device_spec: DeviceSpec = (
+            device if isinstance(device, DeviceSpec) else find_device(device))
         self.strategy = (get_strategy(strategy)
                          if isinstance(strategy, str) else strategy)
         self.registry = registry
@@ -103,6 +133,12 @@ class DerivedFieldEngine:
             self.plan_cache = None
         self._cache: dict[tuple, CompiledExpression] = {}
         self._env: Optional[CLEnvironment] = None
+        # Serializes warm-path execution: the persistent environment's
+        # instrumentation (event log, peak tracking) describes exactly one
+        # run at a time, so a single engine shared by several threads
+        # executes warm runs one after another.  Service deployments get
+        # real concurrency from one engine per device worker instead.
+        self._exec_lock = threading.Lock()
 
     # -- compilation -----------------------------------------------------------
 
@@ -139,9 +175,69 @@ class DerivedFieldEngine:
 
     def _warm_environment(self) -> CLEnvironment:
         if self._env is None:
-            self._env = CLEnvironment(self.device, backend=self.backend,
+            self._env = CLEnvironment(self.device_spec,
+                                      backend=self.backend,
                                       pooling=self.pooling)
         return self._env
+
+    def prepare(self, expression: Union[str, CompiledExpression],
+                fields: Mapping[str, BindingInput]) -> PreparedExecution:
+        """The public prepare/plan path: validate, bind, size, and key a
+        request without executing it.
+
+        Raises :class:`HostInterfaceError` on missing fields — so a
+        serving layer can reject a malformed request synchronously, before
+        admitting it to a queue.  The returned object is immutable and
+        safe to hand to another thread (or, re-keyed via
+        ``key.for_device``, to a worker on a different device).
+        """
+        compiled = (expression if isinstance(expression, CompiledExpression)
+                    else self.compile(expression))
+        missing = [name for name in compiled.required_inputs
+                   if name not in fields]
+        if missing:
+            raise HostInterfaceError(
+                f"expression {compiled.result_name!r} needs host fields "
+                f"{missing}; got {sorted(fields)}")
+        bindings, n, dtype = self.strategy.prepare(compiled.network, fields)
+        if (self.plan_cache is None or self.dry_run
+                or not hasattr(self.strategy, "build_plan")):
+            key: Optional[PlanKey] = None
+            sources: tuple[str, ...] = ()
+        else:
+            key, sources = plan_key(compiled.network, self.strategy,
+                                    bindings, n, dtype, self.device_spec,
+                                    self.backend)
+        return PreparedExecution(compiled=compiled, bindings=bindings,
+                                 n=n, dtype=dtype, key=key,
+                                 sources=sources)
+
+    def execute_prepared(self, prepared: PreparedExecution,
+                         ) -> ExecutionReport:
+        """Run a previously prepared request (see :meth:`prepare`)."""
+        if prepared.key is None:
+            env = CLEnvironment(self.device_spec, dry_run=self.dry_run,
+                                backend=self.backend)
+            report = self.strategy.execute(prepared.compiled.network,
+                                           prepared.bindings, env)
+            report.alloc = env.alloc_stats()
+            return report
+
+        with self._exec_lock:
+            env = self._warm_environment()
+            env.reset_instrumentation()
+            plan = self.plan_cache.get(prepared.key)
+            hit = plan is not None
+            if plan is None:
+                plan = self.strategy.build_plan(
+                    prepared.compiled.network, prepared.bindings,
+                    prepared.n, prepared.dtype)
+                self.plan_cache.put(prepared.key, plan)
+            report = plan.run(plan.rebind(prepared.bindings,
+                                          prepared.sources), env)
+            report.cache = self.plan_cache.info(hit)
+            report.alloc = env.alloc_stats()
+            return report
 
     def execute(self, expression: Union[str, CompiledExpression],
                 fields: Mapping[str, BindingInput]) -> ExecutionReport:
@@ -152,39 +248,9 @@ class DerivedFieldEngine:
         timings, and the memory high-water mark still describe exactly one
         run; the report's ``cache``/``alloc`` fields carry the warm-layer
         counters.  Otherwise a fresh environment is created per execution.
+        Equivalent to ``execute_prepared(prepare(...))``.
         """
-        compiled = (expression if isinstance(expression, CompiledExpression)
-                    else self.compile(expression))
-        missing = [name for name in compiled.required_inputs
-                   if name not in fields]
-        if missing:
-            raise HostInterfaceError(
-                f"expression {compiled.result_name!r} needs host fields "
-                f"{missing}; got {sorted(fields)}")
-
-        strategy = self.strategy
-        if (self.plan_cache is None or self.dry_run
-                or not hasattr(strategy, "build_plan")):
-            env = CLEnvironment(self.device, dry_run=self.dry_run,
-                                backend=self.backend)
-            report = strategy.execute(compiled.network, fields, env)
-            report.alloc = env.alloc_stats()
-            return report
-
-        env = self._warm_environment()
-        env.reset_instrumentation()
-        bindings, n, dtype = strategy._prepare(compiled.network, fields)
-        key, sources = plan_key(compiled.network, strategy, bindings,
-                                n, dtype, env.device, self.backend)
-        plan = self.plan_cache.get(key)
-        hit = plan is not None
-        if plan is None:
-            plan = strategy.build_plan(compiled.network, bindings, n, dtype)
-            self.plan_cache.put(key, plan)
-        report = plan.run(plan.rebind(bindings, sources), env)
-        report.cache = self.plan_cache.info(hit)
-        report.alloc = env.alloc_stats()
-        return report
+        return self.execute_prepared(self.prepare(expression, fields))
 
     def derive(self, expression: Union[str, CompiledExpression],
                fields: Mapping[str, np.ndarray]) -> np.ndarray:

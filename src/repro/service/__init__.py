@@ -1,0 +1,36 @@
+"""The derived-field *service* layer: concurrent, multi-device serving.
+
+Turns the single-call engine into a request-serving system — the
+ROADMAP's scaling direction on top of the warm-execution layer:
+
+* :class:`DerivedFieldService` — the serving facade: bounded admission,
+  scheduling, device workers, metrics, drain-clean shutdown;
+* :class:`ServiceRequest` / :class:`RequestStatus` — the request future
+  and its life cycle;
+* :class:`AdmissionQueue` — bounded intake with
+  :class:`~repro.errors.ServiceOverloaded` backpressure;
+* :class:`LeastLoadedScheduler` — least-outstanding-work routing with
+  plan-cache-locality affinity;
+* :class:`DeviceWorker` — one thread per device, persistent warm engine,
+  shared thread-safe plan cache;
+* :class:`ServiceMetrics` — counters, queue gauge, latency percentiles,
+  cache hit rate, per-device utilization, JSON snapshot;
+* :func:`run_load` / :func:`format_load_report` — closed-loop synthetic
+  load generation (the ``python -m repro serve`` backbone).
+"""
+
+from .loadgen import LoadCase, default_cases, format_load_report, run_load
+from .metrics import LatencyStats, ServiceMetrics, percentile
+from .queue import AdmissionQueue
+from .request import RequestStatus, ServiceRequest, TERMINAL_STATUSES
+from .scheduler import LeastLoadedScheduler, SchedulerDecision, WorkerView
+from .service import DerivedFieldService
+from .worker import DeviceWorker
+
+__all__ = [
+    "AdmissionQueue", "DerivedFieldService", "DeviceWorker",
+    "LatencyStats", "LeastLoadedScheduler", "LoadCase", "RequestStatus",
+    "SchedulerDecision", "ServiceMetrics", "ServiceRequest",
+    "TERMINAL_STATUSES", "WorkerView", "default_cases",
+    "format_load_report", "percentile", "run_load",
+]

@@ -1,0 +1,211 @@
+"""Live service metrics: counters, gauges, histograms — snapshotable.
+
+:class:`ServiceMetrics` is the single observable surface of a running
+:class:`~repro.service.DerivedFieldService`:
+
+* **request counters** — submitted / served / rejected / timed-out /
+  failed / cancelled (every admitted request lands in exactly one
+  terminal counter: the zero-dropped-requests invariant is checkable
+  arithmetic);
+* **queue-depth gauge** — current and peak admission-queue depth;
+* **latency histograms** — per-expression submit→resolve latency with
+  p50/p95/p99 (nearest-rank over a bounded reservoir);
+* **plan-cache hit rate** — hits/lookups across all workers sharing the
+  service's plan cache;
+* **per-device utilization** — wall busy-seconds and modeled
+  device-seconds per worker, against service uptime.
+
+Everything updates under one lock (updates are tiny compared to an
+execution) and :meth:`snapshot` returns plain dict/list/float data —
+``json.dumps(metrics.snapshot())`` always works.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Optional
+
+from .request import RequestStatus, ServiceRequest
+
+__all__ = ["LatencyStats", "ServiceMetrics", "percentile"]
+
+# Per-expression latency samples kept for percentile estimation.  Beyond
+# the cap we keep a uniformly-thinned reservoir (every other sample) so
+# long-running services stay bounded without losing the distribution.
+MAX_LATENCY_SAMPLES = 65536
+
+
+def percentile(sorted_samples: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted, non-empty list."""
+    if not sorted_samples:
+        raise ValueError("percentile of no samples")
+    rank = round(q / 100.0 * (len(sorted_samples) - 1))
+    return sorted_samples[int(rank)]
+
+
+class LatencyStats:
+    """Bounded latency accumulator for one expression label."""
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._samples: list[float] = []
+        self._stride = 1          # record every stride-th sample when full
+        self._skip = 0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        if self._skip > 0:
+            self._skip -= 1
+            return
+        self._skip = self._stride - 1
+        self._samples.append(seconds)
+        if len(self._samples) >= MAX_LATENCY_SAMPLES:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    def summary(self) -> dict:
+        ordered = sorted(self._samples)
+        out = {
+            "count": self.count,
+            "mean_s": self.total / self.count if self.count else 0.0,
+            "max_s": self.max,
+        }
+        if ordered:
+            out["p50_s"] = percentile(ordered, 50)
+            out["p95_s"] = percentile(ordered, 95)
+            out["p99_s"] = percentile(ordered, 99)
+        return out
+
+
+class _DeviceStats:
+    """Per-worker accounting (one device each)."""
+
+    def __init__(self):
+        self.served = 0
+        self.failed = 0
+        self.busy_seconds = 0.0          # wall time spent executing
+        self.modeled_seconds = 0.0       # simulated device time (Fig 5 axis)
+
+
+class ServiceMetrics:
+    """Thread-safe counters/gauges/histograms for one service instance."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.started_at = time.monotonic()
+        self.submitted = 0
+        self.rejected = 0
+        self.resolved = {status: 0 for status in RequestStatus}
+        self.queue_depth = 0
+        self.queue_peak = 0
+        self.cache_lookups = 0
+        self.cache_hits = 0
+        self._latency: dict[str, LatencyStats] = {}
+        self._devices: dict[str, _DeviceStats] = {}
+
+    # -- update paths (service internals) -----------------------------------
+
+    def register_device(self, name: str) -> None:
+        with self._lock:
+            self._devices.setdefault(name, _DeviceStats())
+
+    def record_admitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+            self.resolved[RequestStatus.REJECTED] += 1
+
+    def set_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth = depth
+            if depth > self.queue_peak:
+                self.queue_peak = depth
+
+    def record_result(self, request: ServiceRequest) -> None:
+        """Fold one admitted request's terminal state into the counters."""
+        with self._lock:
+            status = request.status
+            self.resolved[status] += 1
+            if status is RequestStatus.SERVED:
+                stats = self._latency.setdefault(request.expression,
+                                                 LatencyStats())
+                if request.latency is not None:
+                    stats.record(request.latency)
+
+    def record_execution(self, device: str, busy_seconds: float,
+                         modeled_seconds: float,
+                         cache_hit: Optional[bool],
+                         failed: bool = False) -> None:
+        """One worker execution's accounting (served or failed)."""
+        with self._lock:
+            stats = self._devices.setdefault(device, _DeviceStats())
+            if failed:
+                stats.failed += 1
+            else:
+                stats.served += 1
+            stats.busy_seconds += busy_seconds
+            stats.modeled_seconds += modeled_seconds
+            if cache_hit is not None:
+                self.cache_lookups += 1
+                self.cache_hits += int(cache_hit)
+
+    # -- read path -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A point-in-time, JSON-serializable view of every metric."""
+        with self._lock:
+            uptime = max(time.monotonic() - self.started_at, 1e-9)
+            served = self.resolved[RequestStatus.SERVED]
+            outcomes = {status.value: count
+                        for status, count in self.resolved.items()
+                        if status not in (RequestStatus.QUEUED,
+                                          RequestStatus.DISPATCHED,
+                                          RequestStatus.RUNNING)}
+            terminal = sum(outcomes.values())
+            devices = {}
+            for name, stats in self._devices.items():
+                devices[name] = {
+                    "served": stats.served,
+                    "failed": stats.failed,
+                    "busy_seconds": stats.busy_seconds,
+                    "modeled_seconds": stats.modeled_seconds,
+                    "utilization": min(stats.busy_seconds / uptime, 1.0),
+                }
+            return {
+                "uptime_seconds": uptime,
+                "requests": {
+                    "submitted": self.submitted,
+                    "offered": self.submitted + self.rejected,
+                    "resolved": terminal,
+                    "in_flight": self.submitted
+                                 - (terminal - self.rejected),
+                    "outcomes": outcomes,
+                },
+                "queue": {
+                    "depth": self.queue_depth,
+                    "peak_depth": self.queue_peak,
+                },
+                "throughput_rps": served / uptime,
+                "latency": {name: stats.summary()
+                            for name, stats in self._latency.items()},
+                "plan_cache": {
+                    "lookups": self.cache_lookups,
+                    "hits": self.cache_hits,
+                    "hit_rate": (self.cache_hits / self.cache_lookups
+                                 if self.cache_lookups else 0.0),
+                },
+                "devices": devices,
+            }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)

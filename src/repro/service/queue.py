@@ -1,0 +1,98 @@
+"""Bounded admission queue with backpressure.
+
+The service's single intake: :meth:`AdmissionQueue.offer` either admits a
+request or raises :class:`~repro.errors.ServiceOverloaded` when the queue
+is at its configured depth — callers get an immediate, explicit rejection
+instead of unbounded buffering (the classic load-shedding discipline: a
+deep queue only converts overload into latency).  The dispatcher drains
+the queue with :meth:`take`, which blocks with a timeout so shutdown can
+interleave.
+
+Depth changes are reported to an optional gauge callback (the service
+wires this to :class:`~repro.service.metrics.ServiceMetrics`), keeping
+the queue itself free of metrics policy.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Optional
+
+from ..errors import ServiceClosed, ServiceOverloaded
+from .request import ServiceRequest
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """FIFO of admitted requests, bounded at ``depth``."""
+
+    def __init__(self, depth: int,
+                 gauge: Optional[Callable[[int], None]] = None):
+        if depth < 1:
+            raise ValueError(f"admission queue depth must be >= 1: {depth}")
+        self.depth = depth
+        self._items: "deque[ServiceRequest]" = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._gauge = gauge or (lambda depth: None)
+
+    def offer(self, request: ServiceRequest) -> int:
+        """Admit a request; returns the queue depth after admission.
+
+        Raises :class:`ServiceOverloaded` at capacity (backpressure) and
+        :class:`ServiceClosed` after :meth:`close` — in both cases the
+        request is resolved accordingly before the exception propagates,
+        so rejected work is never left pending.
+        """
+        with self._not_empty:
+            if self._closed:
+                request.resolve_cancelled()
+                raise ServiceClosed(
+                    f"request #{request.id} refused: service is shut down")
+            if len(self._items) >= self.depth:
+                request.resolve_rejected(self.depth)
+                raise ServiceOverloaded(
+                    f"admission queue full ({self.depth} deep); "
+                    f"request #{request.id} ({request.expression}) "
+                    "rejected", depth=self.depth)
+            self._items.append(request)
+            size = len(self._items)
+            self._not_empty.notify()
+        self._gauge(size)
+        return size
+
+    def take(self, timeout: Optional[float] = None,
+             ) -> Optional[ServiceRequest]:
+        """Pop the oldest request, blocking up to ``timeout`` seconds;
+        ``None`` when nothing arrived (or the queue closed empty)."""
+        with self._not_empty:
+            if not self._items:
+                self._not_empty.wait(timeout)
+            if not self._items:
+                return None
+            request = self._items.popleft()
+            size = len(self._items)
+        self._gauge(size)
+        return request
+
+    def close(self) -> "list[ServiceRequest]":
+        """Refuse further admissions; returns any still-queued requests so
+        the caller can resolve them (nothing is dropped on the floor)."""
+        with self._not_empty:
+            self._closed = True
+            leftovers = list(self._items)
+            self._items.clear()
+            self._not_empty.notify_all()
+        self._gauge(0)
+        return leftovers
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

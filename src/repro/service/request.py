@@ -1,0 +1,192 @@
+"""The service request model: a submitted derived-field computation.
+
+A :class:`ServiceRequest` is both the internal unit of work (queued,
+scheduled, executed) and the handle returned to the submitting client.
+Its life cycle is a one-way walk through :class:`RequestStatus`:
+
+``QUEUED -> DISPATCHED -> RUNNING -> SERVED``
+
+with terminal exits ``REJECTED`` (admission control), ``TIMED_OUT``
+(deadline expired — mid-queue or before/after launch), ``CANCELLED``
+(client called :meth:`ServiceRequest.cancel` before a worker picked it
+up), and ``FAILED`` (the execution raised, e.g. device OOM).
+
+Resolution is first-writer-wins under a per-request lock, so races
+between a worker finishing and a dispatcher timing the request out can
+never produce two outcomes; every request resolves exactly once.
+Cancellation is *cooperative*: :meth:`cancel` sets a flag that the
+dispatcher and workers check at their checkpoints — a request already
+launched runs to completion (kernels are not interruptible, exactly as
+on a real device queue).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import (RequestCancelled, RequestTimedOut, ServiceError,
+                      ServiceOverloaded)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..host.engine import PreparedExecution
+    from ..strategies.base import ExecutionReport
+
+__all__ = ["RequestStatus", "ServiceRequest", "TERMINAL_STATUSES"]
+
+
+class RequestStatus(enum.Enum):
+    """Where a request is in its life cycle."""
+
+    QUEUED = "queued"            # admitted, waiting in the admission queue
+    DISPATCHED = "dispatched"    # assigned to a device worker's inbox
+    RUNNING = "running"          # executing on a device
+    SERVED = "served"            # completed; report available
+    REJECTED = "rejected"        # refused at admission (queue full)
+    TIMED_OUT = "timed_out"      # deadline expired before completion
+    CANCELLED = "cancelled"      # client cancelled before launch
+    FAILED = "failed"            # execution raised (e.g. device OOM)
+
+
+TERMINAL_STATUSES = frozenset({
+    RequestStatus.SERVED, RequestStatus.REJECTED, RequestStatus.TIMED_OUT,
+    RequestStatus.CANCELLED, RequestStatus.FAILED,
+})
+
+
+class ServiceRequest:
+    """One admitted (or rejected) derived-field computation.
+
+    Clients hold this as a future: :meth:`wait` / :meth:`result` block
+    until resolution; :attr:`status`, :attr:`device`, and :attr:`latency`
+    describe the outcome.  All mutation happens through :meth:`_resolve`
+    and the status setters, which the service layer owns.
+    """
+
+    def __init__(self, request_id: int, expression: str,
+                 prepared: "PreparedExecution",
+                 deadline: Optional[float] = None):
+        self.id = request_id
+        self.expression = expression          # label for metrics/reports
+        self.prepared = prepared
+        self.deadline = deadline              # time.monotonic() instant
+        self.submitted_at = time.monotonic()
+        self.device: Optional[str] = None     # worker that served it
+        self.report: "Optional[ExecutionReport]" = None
+        self.error: Optional[BaseException] = None
+        self.latency: Optional[float] = None  # submit -> resolve, seconds
+        self._status = RequestStatus.QUEUED
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._cancel = threading.Event()
+
+    # -- client API ----------------------------------------------------------
+
+    @property
+    def status(self) -> RequestStatus:
+        return self._status
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation was *requested* (cooperative flag)."""
+        return self._cancel.is_set()
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation.  Takes effect at the next
+        scheduling checkpoint; a request already running completes."""
+        self._cancel.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the request resolves; False on wait timeout."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> "ExecutionReport":
+        """Block for the outcome: the :class:`ExecutionReport` on success,
+        or the failure re-raised (:class:`RequestTimedOut`,
+        :class:`RequestCancelled`, :class:`ServiceOverloaded`, or the
+        execution's own exception).
+
+        ``timeout`` bounds only this *wait*; it is independent of the
+        request's service-side deadline.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request #{self.id} ({self.expression}) not resolved "
+                f"within {timeout} s (status: {self._status.value})")
+        status = self._status
+        if status is RequestStatus.SERVED:
+            assert self.report is not None
+            return self.report
+        if self.error is not None:
+            raise self.error
+        raise ServiceError(  # pragma: no cover - defensive
+            f"request #{self.id} resolved {status.value} without a cause")
+
+    # -- service-side transitions -------------------------------------------
+
+    def mark_dispatched(self) -> None:
+        with self._lock:
+            if self._status is RequestStatus.QUEUED:
+                self._status = RequestStatus.DISPATCHED
+
+    def mark_running(self) -> None:
+        with self._lock:
+            if self._status is RequestStatus.DISPATCHED:
+                self._status = RequestStatus.RUNNING
+
+    def deadline_expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) > self.deadline
+
+    def _resolve(self, status: RequestStatus, *,
+                 report: "Optional[ExecutionReport]" = None,
+                 error: Optional[BaseException] = None,
+                 device: Optional[str] = None) -> bool:
+        """Terminal transition; returns False if already resolved (the
+        first resolution wins, later ones are dropped)."""
+        assert status in TERMINAL_STATUSES
+        with self._lock:
+            if self._done.is_set():
+                return False
+            self._status = status
+            self.report = report
+            self.error = error
+            self.device = device
+            self.latency = time.monotonic() - self.submitted_at
+            self._done.set()
+            return True
+
+    def resolve_served(self, report: "ExecutionReport",
+                       device: str) -> bool:
+        return self._resolve(RequestStatus.SERVED, report=report,
+                             device=device)
+
+    def resolve_rejected(self, depth: int) -> bool:
+        return self._resolve(RequestStatus.REJECTED, error=ServiceOverloaded(
+            f"request #{self.id} ({self.expression}) rejected: admission "
+            f"queue at capacity ({depth})", depth=depth))
+
+    def resolve_timed_out(self, where: str) -> bool:
+        return self._resolve(RequestStatus.TIMED_OUT, error=RequestTimedOut(
+            f"request #{self.id} ({self.expression}) exceeded its "
+            f"deadline {where}"))
+
+    def resolve_cancelled(self) -> bool:
+        return self._resolve(RequestStatus.CANCELLED, error=RequestCancelled(
+            f"request #{self.id} ({self.expression}) cancelled"))
+
+    def resolve_failed(self, error: BaseException,
+                       device: Optional[str] = None) -> bool:
+        return self._resolve(RequestStatus.FAILED, error=error,
+                             device=device)
+
+    def __repr__(self) -> str:
+        return (f"ServiceRequest(#{self.id}, {self.expression!r}, "
+                f"{self._status.value})")

@@ -1,0 +1,84 @@
+"""Request → device-worker scheduling policy.
+
+The dispatcher asks the scheduler where each admitted request should run.
+The policy is **least-outstanding-work with plan-cache-locality
+affinity**:
+
+1. compute the request's :class:`~repro.strategies.plancache.PlanKey`
+   re-targeted at each worker's device (``PlanKey.for_device``) and probe
+   the shared plan cache — a worker whose device already has the compiled
+   plan can serve the request without paying build/codegen again;
+2. among the *warm* workers (if any), pick the one with the fewest
+   outstanding requests — but only while that choice isn't ``slack``
+   deeper than the globally least-loaded worker.  The slack keeps
+   locality from defeating load balance: a single hot expression must
+   not pile onto one device while others idle, because a miss merely
+   rebuilds a plan (bounded cost) whereas an imbalanced queue grows
+   without bound;
+3. otherwise fall back to the globally least-loaded worker, ties broken
+   by worker index (deterministic).
+
+The scheduler is a pure policy object — it never blocks, owns no
+threads, and reads worker load through the tiny
+:class:`WorkerView` protocol, which keeps it unit-testable without a
+running service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence
+
+from ..strategies.plancache import PlanCache, PlanKey
+
+__all__ = ["LeastLoadedScheduler", "SchedulerDecision", "WorkerView"]
+
+
+class WorkerView(Protocol):
+    """What the scheduler needs to know about a worker."""
+
+    index: int
+
+    @property
+    def outstanding(self) -> int:
+        """Requests assigned but not yet resolved."""
+        ...  # pragma: no cover - protocol
+
+    def device_key(self, key: PlanKey) -> PlanKey:
+        """``key`` re-targeted at this worker's device."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class SchedulerDecision:
+    """Chosen worker plus why (surfaced in metrics/tests)."""
+
+    worker: WorkerView
+    affinity_hit: bool        # chosen because its device has the plan
+
+
+class LeastLoadedScheduler:
+    """Least outstanding work, with bounded plan-locality preference."""
+
+    def __init__(self, plan_cache: PlanCache, affinity_slack: int = 1):
+        if affinity_slack < 0:
+            raise ValueError(
+                f"affinity slack must be >= 0: {affinity_slack}")
+        self.plan_cache = plan_cache
+        self.affinity_slack = affinity_slack
+
+    def pick(self, workers: Sequence[WorkerView],
+             key: Optional[PlanKey]) -> SchedulerDecision:
+        if not workers:
+            raise ValueError("no workers to schedule onto")
+        coldest = min(workers, key=lambda w: (w.outstanding, w.index))
+        if key is None:
+            return SchedulerDecision(coldest, affinity_hit=False)
+        warm = [w for w in workers
+                if w.device_key(key) in self.plan_cache]
+        if warm:
+            best_warm = min(warm, key=lambda w: (w.outstanding, w.index))
+            if (best_warm.outstanding
+                    <= coldest.outstanding + self.affinity_slack):
+                return SchedulerDecision(best_warm, affinity_hit=True)
+        return SchedulerDecision(coldest, affinity_hit=False)

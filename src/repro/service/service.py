@@ -1,0 +1,243 @@
+"""`DerivedFieldService`: the multi-tenant, multi-device serving layer.
+
+The paper's framework computes one derived field per call from a single
+host process.  This module turns that engine into a *service*: many
+concurrent clients submit expressions over their own arrays, a fleet of
+device workers executes them against shared warm state, and the whole
+thing degrades predictably under overload instead of falling over.
+
+Request path::
+
+    submit() ──prepare/validate──► AdmissionQueue (bounded; rejects past
+        depth) ──dispatcher──► LeastLoadedScheduler (plan-cache-locality
+        affinity) ──► DeviceWorker inbox ──► engine.execute_prepared()
+        ──► ServiceRequest resolves; ServiceMetrics updated
+
+Guarantees:
+
+* **every admitted request resolves** — served, timed-out, failed, or
+  cancelled; shutdown drains or explicitly cancels, never drops;
+* **backpressure, not buffering** — past ``queue_depth`` waiting
+  requests, `submit` raises :class:`ServiceOverloaded` immediately;
+* **deadlines** — a request carries an optional deadline checked at
+  every checkpoint (mid-queue, pre-launch, post-launch) with cooperative
+  client cancellation on the same mechanism;
+* **shared warm state, safely** — one thread-safe
+  :class:`~repro.strategies.plancache.PlanCache` backs all workers
+  (plans built by one device worker are warm hits for every other worker
+  on the same device model), while environments/allocators/pools stay
+  worker-private;
+* **failure isolation** — a device OOM fails that request, releases its
+  buffers, and the service keeps serving.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..clsim.device import DeviceSpec, DeviceType
+from ..errors import ServiceClosed
+from ..strategies.bindings import BindingInput
+from ..strategies.plancache import PlanCache
+from .metrics import ServiceMetrics
+from .queue import AdmissionQueue
+from .request import ServiceRequest
+from .scheduler import LeastLoadedScheduler
+from .worker import DeviceWorker
+
+__all__ = ["DerivedFieldService"]
+
+DEFAULT_QUEUE_DEPTH = 64
+DEFAULT_PLAN_CACHE_SIZE = 128
+
+
+class DerivedFieldService:
+    """Concurrent derived-field serving over a fleet of device workers.
+
+    ``devices`` lists one entry per worker ('cpu' / 'gpu' /
+    :class:`DeviceSpec`); repeated entries mean multiple workers of that
+    device model.  ``strategy`` names the inner execution strategy every
+    worker runs (fusion by default).  ``queue_depth`` bounds the
+    admission queue; ``default_timeout`` (seconds) applies to requests
+    submitted without an explicit one; ``affinity_slack`` tunes how far
+    plan-locality may override least-loaded placement.
+
+    Use as a context manager (``with DerivedFieldService(...) as svc:``)
+    or call :meth:`close` explicitly — close drains by default.
+    """
+
+    def __init__(self,
+                 devices: Sequence[Union[str, DeviceType, DeviceSpec]]
+                 = ("cpu",),
+                 strategy: str = "fusion", *,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+                 default_timeout: Optional[float] = None,
+                 affinity_slack: int = 1,
+                 backend: str = "vectorized",
+                 start: bool = True):
+        if not devices:
+            raise ValueError("service needs at least one device")
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.metrics = ServiceMetrics()
+        self.default_timeout = default_timeout
+        self._queue = AdmissionQueue(queue_depth,
+                                     gauge=self.metrics.set_queue_depth)
+        self._scheduler = LeastLoadedScheduler(self.plan_cache,
+                                               affinity_slack)
+        self.workers = [
+            DeviceWorker(i, device, strategy, self.plan_cache,
+                         self.metrics, self._request_done, backend=backend)
+            for i, device in enumerate(devices)
+        ]
+        # Requests are prepared (compiled, validated, keyed) through the
+        # first worker's engine; its compiled-expression cache is shared
+        # by every submitter and its device key is re-targeted per worker
+        # at dispatch.
+        self._front = self.workers[0].engine
+        self._ids = itertools.count(1)
+        self._inflight = 0
+        self._idle = threading.Condition()
+        self._closed = False
+        self._started = False
+        self._dispatcher = threading.Thread(target=self._dispatch_loop,
+                                            name="repro-dispatcher",
+                                            daemon=True)
+        if start:
+            self.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for worker in self.workers:
+            worker.start()
+        self._dispatcher.start()
+
+    def __enter__(self) -> "DerivedFieldService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(drain=exc_info[0] is None)
+
+    def close(self, drain: bool = True,
+              timeout: Optional[float] = None) -> None:
+        """Shut down: refuse new work, then drain (default) or cancel
+        what's in flight.  Idempotent."""
+        self._closed = True
+        if drain and self._started:
+            self.wait_idle(timeout)
+        leftovers = self._queue.close()
+        for request in leftovers:     # only when not draining (or racing)
+            if request.resolve_cancelled():
+                self._request_done(request)
+        if self._started:
+            if self._dispatcher.is_alive():
+                self._dispatcher.join()
+            for worker in self.workers:
+                worker.stop(drain=drain)
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted request has resolved."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining if remaining is not None
+                                else 0.5)
+            return True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- client API ----------------------------------------------------------
+
+    def submit(self, expression: str,
+               fields: Mapping[str, BindingInput], *,
+               timeout: Optional[float] = None) -> ServiceRequest:
+        """Admit one request; returns its handle (a future).
+
+        Raises :class:`ServiceClosed` after shutdown began,
+        :class:`ServiceOverloaded` when the admission queue is full, and
+        the usual expression/binding errors synchronously (a malformed
+        request is the submitter's bug, not service load).
+        """
+        if self._closed:
+            raise ServiceClosed("service is shut down; submit refused")
+        prepared = self._front.prepare(expression, fields)
+        timeout = self.default_timeout if timeout is None else timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        request = ServiceRequest(next(self._ids),
+                                 prepared.compiled.result_name,
+                                 prepared, deadline)
+        with self._idle:
+            self._inflight += 1
+        try:
+            self._queue.offer(request)
+        except Exception:
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
+            self.metrics.record_rejected()
+            raise
+        self.metrics.record_admitted()
+        return request
+
+    def execute(self, expression: str,
+                fields: Mapping[str, BindingInput], *,
+                timeout: Optional[float] = None):
+        """Submit and block for the full :class:`ExecutionReport`."""
+        return self.submit(expression, fields, timeout=timeout).result()
+
+    def derive(self, expression: str,
+               fields: Mapping[str, np.ndarray], *,
+               timeout: Optional[float] = None) -> np.ndarray:
+        """Submit and block for just the derived array."""
+        report = self.execute(expression, fields, timeout=timeout)
+        assert report.output is not None
+        return report.output
+
+    def snapshot(self) -> dict:
+        """Point-in-time JSON-able metrics (see :class:`ServiceMetrics`)."""
+        return self.metrics.snapshot()
+
+    # -- internals ----------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            request = self._queue.take(timeout=0.05)
+            if request is None:
+                if self._closed and len(self._queue) == 0:
+                    return
+                continue
+            if request.cancelled:
+                if request.resolve_cancelled():
+                    self._request_done(request)
+                continue
+            if request.deadline_expired():
+                if request.resolve_timed_out("in the admission queue"):
+                    self._request_done(request)
+                continue
+            decision = self._scheduler.pick(self.workers,
+                                            request.prepared.key)
+            decision.worker.assign(request)
+
+    def _request_done(self, request: ServiceRequest) -> None:
+        """Terminal bookkeeping for every admitted request (worker and
+        dispatcher resolutions both land here exactly once)."""
+        self.metrics.record_result(request)
+        with self._idle:
+            self._inflight -= 1
+            self._idle.notify_all()

@@ -1,0 +1,174 @@
+"""Device workers: one thread per (simulated) device, each owning a
+persistent warm engine.
+
+A :class:`DeviceWorker` is the service's unit of execution parallelism.
+Each worker holds its own :class:`~repro.host.engine.DerivedFieldEngine`
+— hence its own persistent :class:`~repro.clsim.environment.CLEnvironment`
+(context, queue, allocator, buffer pool) — while *sharing* the service's
+thread-safe :class:`~repro.strategies.plancache.PlanCache`.  The split
+mirrors real multi-device OpenCL: contexts and queues are per-device,
+compiled programs are reusable wherever the device matches.
+
+Workers run a take → checkpoint → execute loop:
+
+* **checkpoint** — a cooperatively-cancelled or deadline-expired request
+  resolves (``CANCELLED`` / ``TIMED_OUT``) without touching the device;
+* **execute** — the request's :class:`PreparedExecution` is re-keyed for
+  this worker's device (``PlanKey.for_device``) and run through
+  ``engine.execute_prepared``: plan-cache lookup, launch, readback;
+* **failure isolation** — any exception (device OOM above all) resolves
+  that one request as ``FAILED`` and the worker keeps serving; strategy
+  ``try/finally`` blocks have already released the request's buffers.
+
+Busy wall-seconds and modeled device-seconds are reported per execution,
+feeding the service's utilization and modeled-throughput metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import replace
+from typing import Callable, Optional, Union
+
+from ..clsim.device import DeviceSpec, DeviceType
+from ..host.engine import DerivedFieldEngine
+from ..strategies.plancache import PlanCache, PlanKey
+from .metrics import ServiceMetrics
+from .request import ServiceRequest
+
+__all__ = ["DeviceWorker"]
+
+
+class DeviceWorker:
+    """One device's serving thread (see module docstring)."""
+
+    def __init__(self, index: int,
+                 device: Union[str, DeviceType, DeviceSpec],
+                 strategy: str, plan_cache: PlanCache,
+                 metrics: ServiceMetrics,
+                 on_done: Callable[[ServiceRequest], None],
+                 backend: str = "vectorized"):
+        self.index = index
+        self.engine = DerivedFieldEngine(
+            device=device, strategy=strategy, plan_cache=plan_cache,
+            pooling=True, backend=backend)
+        token = device if isinstance(device, str) else \
+            self.engine.device_spec.device_type.value
+        self.name = f"{index}:{token}"
+        self.metrics = metrics
+        self._on_done = on_done
+        self._inbox: "deque[ServiceRequest]" = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._outstanding = 0
+        self._stopping = False
+        self._thread = threading.Thread(target=self._run,
+                                        name=f"repro-worker-{self.name}",
+                                        daemon=True)
+        metrics.register_device(self.name)
+
+    # -- scheduler-facing view -----------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Requests assigned to this worker and not yet resolved."""
+        with self._lock:
+            return self._outstanding
+
+    def device_key(self, key: PlanKey) -> PlanKey:
+        return key.for_device(self.engine.device_spec)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def assign(self, request: ServiceRequest) -> None:
+        """Dispatcher hands over a request (worker inboxes are unbounded;
+        global admission control already bounded the total)."""
+        request.mark_dispatched()
+        with self._wake:
+            self._inbox.append(request)
+            self._outstanding += 1
+            self._wake.notify()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the thread; with ``drain`` the inbox is served first,
+        otherwise leftover requests resolve ``CANCELLED``."""
+        with self._wake:
+            self._stopping = True
+            if not drain:
+                leftovers = list(self._inbox)
+                self._inbox.clear()
+            else:
+                leftovers = []
+            self._wake.notify_all()
+        for request in leftovers:
+            with self._lock:
+                self._outstanding -= 1
+            if request.resolve_cancelled():
+                self._finish(request)
+        if self._thread.is_alive():
+            self._thread.join()
+
+    # -- the serving loop ------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._wake:
+                while not self._inbox and not self._stopping:
+                    self._wake.wait(0.1)
+                if not self._inbox:
+                    if self._stopping:
+                        return
+                    continue
+                request = self._inbox.popleft()
+            self._process(request)
+
+    def _process(self, request: ServiceRequest) -> None:
+        try:
+            if request.cancelled:
+                request.resolve_cancelled()
+                return
+            if request.deadline_expired():
+                request.resolve_timed_out("waiting for a device worker")
+                return
+            request.mark_running()
+            prepared = request.prepared
+            if prepared.key is not None:
+                prepared = replace(prepared,
+                                   key=self.device_key(prepared.key))
+            start = time.perf_counter()
+            try:
+                report = self.engine.execute_prepared(prepared)
+            except BaseException as exc:
+                busy = time.perf_counter() - start
+                self.metrics.record_execution(self.name, busy, 0.0,
+                                              cache_hit=None, failed=True)
+                request.resolve_failed(exc, device=self.name)
+                return
+            busy = time.perf_counter() - start
+            hit = report.cache.hit if report.cache is not None else None
+            self.metrics.record_execution(self.name, busy,
+                                          report.timing.total,
+                                          cache_hit=hit)
+            if request.deadline_expired():
+                # Finished after its deadline: the client contract is
+                # already broken, so the result is discarded and the
+                # request counts as timed out (the busy time still counts
+                # against this device — the work did happen).
+                request.resolve_timed_out("during execution")
+                return
+            request.resolve_served(report, device=self.name)
+        finally:
+            with self._lock:
+                self._outstanding -= 1
+            self._finish(request)
+
+    def _finish(self, request: ServiceRequest) -> None:
+        try:
+            self._on_done(request)
+        except Exception:  # pragma: no cover - metrics must never kill
+            pass

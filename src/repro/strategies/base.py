@@ -22,6 +22,7 @@ from ..clsim.environment import CLEnvironment, TimingSummary
 from ..clsim.events import EventCounts
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .multidevice import DeviceReport
     from .plancache import CacheInfo
 from ..dataflow.network import Network
 from ..dataflow.spec import NodeSpec
@@ -55,6 +56,11 @@ class ExecutionReport:
     (:class:`~repro.host.engine.DerivedFieldEngine` with its plan cache):
     plan-cache hit/miss/evict counters and allocator/pool statistics.
     Direct strategy executions leave them ``None``.
+
+    ``device_reports`` carries the per-device breakdown of a multi-device
+    execution (empty for single-device strategies).  It lives on the
+    report — not on the strategy — so one strategy instance can safely be
+    reused across runs and threads.
     """
 
     strategy: str
@@ -65,6 +71,7 @@ class ExecutionReport:
     generated_sources: dict[str, str] = field(default_factory=dict)
     cache: "Optional[CacheInfo]" = None
     alloc: Optional[AllocationStats] = None
+    device_reports: "tuple[DeviceReport, ...]" = ()
 
 
 class ExecutionStrategy(abc.ABC):
@@ -88,12 +95,27 @@ class ExecutionStrategy(abc.ABC):
 
     # -- shared helpers ---------------------------------------------------------
 
-    def _prepare(self, network: Network,
-                 arrays: Mapping[str, BindingInput]):
-        """Normalize bindings and compute problem sizing."""
+    def prepare(self, network: Network,
+                arrays: Mapping[str, BindingInput],
+                ) -> tuple[dict[str, Binding], int, np.dtype]:
+        """Normalize bindings and compute problem sizing.
+
+        Public: hosts (the engine's plan path, the service scheduler) call
+        this to size and key an execution without running it.  The method
+        is pure — safe to call concurrently on one strategy instance.
+        """
         bindings = normalize(arrays, network.live_sources())
         n, dtype = problem_size(bindings)
         return bindings, n, np.dtype(dtype)
+
+    def _prepare(self, network: Network,
+                 arrays: Mapping[str, BindingInput]):
+        """Deprecated alias of :meth:`prepare` (pre-service private API)."""
+        import warnings
+        warnings.warn("ExecutionStrategy._prepare is deprecated; "
+                      "use the public prepare()", DeprecationWarning,
+                      stacklevel=2)
+        return self.prepare(network, arrays)
 
     def _node_components(self, network: Network, node_id: str) -> int:
         return (VECTOR_WIDTH

@@ -57,12 +57,17 @@ class Binding:
         return self.spec.nbytes
 
 
-BindingInput = Union[np.ndarray, ArraySpec]
+BindingInput = Union[np.ndarray, ArraySpec, Binding]
 
 
 def normalize(arrays: Mapping[str, BindingInput],
               required: list[str]) -> dict[str, Binding]:
-    """Validate that every required source is bound and normalize."""
+    """Validate that every required source is bound and normalize.
+
+    Idempotent: already-normalized :class:`Binding` values pass through,
+    so a prepared execution can be re-prepared (e.g. the engine's uncached
+    path re-running a prepared request through ``strategy.execute``).
+    """
     out: dict[str, Binding] = {}
     for name in required:
         if name not in arrays:
@@ -70,7 +75,9 @@ def normalize(arrays: Mapping[str, BindingInput],
                 f"expression requires host array {name!r}; "
                 f"bound: {sorted(arrays)}")
         value = arrays[name]
-        if isinstance(value, ArraySpec):
+        if isinstance(value, Binding):
+            out[name] = value
+        elif isinstance(value, ArraySpec):
             out[name] = Binding(name, value, None)
         else:
             array = np.asarray(value)

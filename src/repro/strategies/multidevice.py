@@ -55,7 +55,6 @@ class MultiDeviceStrategy(ExecutionStrategy):
             raise StrategyError("need at least one device")
         self.devices = tuple(devices)
         self.inner = inner if inner is not None else FusionStrategy()
-        self.device_reports: list[DeviceReport] = []
 
     def _halo_width(self, network: Network) -> int:
         return 1 if any(
@@ -71,9 +70,11 @@ class MultiDeviceStrategy(ExecutionStrategy):
 
         ``env`` names the *primary* device (slab 0) so the strategy drops
         into the standard interface; further devices get their own fresh
-        environments.  Per-device details land on ``self.device_reports``.
+        environments.  Per-device details land on the returned report's
+        ``device_reports`` — the strategy itself holds no per-run state,
+        so one instance is safe to reuse concurrently.
         """
-        bindings, n, dtype = self._prepare(network, arrays)
+        bindings, n, dtype = self.prepare(network, arrays)
         if env.dry_run:
             raise StrategyError(
                 "multi-device runs live; plan one slab per device with "
@@ -95,13 +96,13 @@ class MultiDeviceStrategy(ExecutionStrategy):
                       else 1)
         pieces = []
         sources: dict[str, str] = {}
-        self.device_reports = []
+        device_reports: list[DeviceReport] = []
         for chunk, device_env in zip(chunks, environments):
             sub = chunk_bindings(host_arrays, layout, chunk)
             report = self.inner.execute(network, sub, device_env)
             sources.update(report.generated_sources)
             pieces.append((chunk, report.output))
-            self.device_reports.append(DeviceReport(
+            device_reports.append(DeviceReport(
                 device=device_env.device.name,
                 counts=report.counts,
                 timing=report.timing,
@@ -112,24 +113,25 @@ class MultiDeviceStrategy(ExecutionStrategy):
         # constraint is the worst single device.
         counts = EventCounts(
             dev_writes=sum(r.counts.dev_writes
-                           for r in self.device_reports),
-            dev_reads=sum(r.counts.dev_reads for r in self.device_reports),
+                           for r in device_reports),
+            dev_reads=sum(r.counts.dev_reads for r in device_reports),
             kernel_execs=sum(r.counts.kernel_execs
-                             for r in self.device_reports))
+                             for r in device_reports))
         makespan = TimingSummary(
             host_to_device=max(r.timing.host_to_device
-                               for r in self.device_reports),
+                               for r in device_reports),
             kernel_exec=max(r.timing.kernel_exec
-                            for r in self.device_reports),
+                            for r in device_reports),
             device_to_host=max(r.timing.device_to_host
-                               for r in self.device_reports),
-            build=max(r.timing.build for r in self.device_reports),
-            wall=sum(r.timing.wall for r in self.device_reports))
+                               for r in device_reports),
+            build=max(r.timing.build for r in device_reports),
+            wall=sum(r.timing.wall for r in device_reports))
         return ExecutionReport(
             strategy=self.name,
             output=output,
             counts=counts,
             timing=makespan,
             mem_high_water=max(r.mem_high_water
-                               for r in self.device_reports),
-            generated_sources=sources)
+                               for r in device_reports),
+            generated_sources=sources,
+            device_reports=tuple(device_reports))

@@ -31,8 +31,9 @@ from __future__ import annotations
 
 import abc
 import hashlib
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping, Optional
 
 import numpy as np
@@ -104,6 +105,13 @@ class PlanKey:
     device: tuple
     backend: str
 
+    def for_device(self, device) -> "PlanKey":
+        """This key re-targeted at another device — everything but the
+        device identity is device-independent, which is how the service
+        scheduler asks 'would this request hit on worker X's device?'."""
+        return replace(self,
+                       device=(device.name, device.global_mem_bytes))
+
 
 def plan_key(network: Network, strategy, bindings: Mapping[str, Binding],
              n: int, dtype: np.dtype, device, backend: str,
@@ -138,46 +146,63 @@ class CacheInfo:
 
 
 class PlanCache:
-    """Bounded LRU of :class:`ExecutablePlan` keyed by :class:`PlanKey`."""
+    """Bounded LRU of :class:`ExecutablePlan` keyed by :class:`PlanKey`.
+
+    Thread-safe: one lock serializes lookup/insert/counter updates, so a
+    single cache instance can back every worker of a
+    :class:`~repro.service.DerivedFieldService`.  Plans themselves are
+    immutable-after-build and launch against caller-owned environments, so
+    a cached plan may be run by several threads at once.  Two threads
+    missing on the same key may both build the plan (last ``put`` wins) —
+    a benign duplicate, never a correctness hazard.
+    """
 
     def __init__(self, maxsize: int = DEFAULT_PLAN_CACHE_SIZE):
         if maxsize < 1:
             raise ValueError(f"plan cache maxsize must be >= 1: {maxsize}")
         self.maxsize = maxsize
         self._plans: "OrderedDict[PlanKey, ExecutablePlan]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: PlanKey) -> "Optional[ExecutablePlan]":
-        plan = self._plans.get(key)
-        if plan is None:
-            self.misses += 1
-            return None
-        self._plans.move_to_end(key)
-        self.hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
 
     def put(self, key: PlanKey, plan: "ExecutablePlan") -> None:
-        self._plans[key] = plan
-        self._plans.move_to_end(key)
-        while len(self._plans) > self.maxsize:
-            self._plans.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.evictions += 1
 
     def info(self, hit: bool) -> CacheInfo:
-        return CacheInfo(hit=hit, hits=self.hits, misses=self.misses,
-                         evictions=self.evictions, size=len(self._plans),
-                         maxsize=self.maxsize)
+        with self._lock:
+            return CacheInfo(hit=hit, hits=self.hits, misses=self.misses,
+                             evictions=self.evictions,
+                             size=len(self._plans), maxsize=self.maxsize)
 
     def clear(self) -> None:
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, key: PlanKey) -> bool:
-        return key in self._plans
+        """Affinity probe: no counter updates, no LRU refresh."""
+        with self._lock:
+            return key in self._plans
 
 
 class ExecutablePlan(abc.ABC):

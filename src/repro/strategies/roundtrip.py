@@ -136,7 +136,7 @@ class RoundtripStrategy(ExecutionStrategy):
     def execute(self, network: Network,
                 arrays: Mapping[str, BindingInput],
                 env: CLEnvironment) -> ExecutionReport:
-        bindings, n, dtype = self._prepare(network, arrays)
+        bindings, n, dtype = self.prepare(network, arrays)
         plan = self.build_plan(network, bindings, n, dtype)
         return plan.run(bindings, env)
 

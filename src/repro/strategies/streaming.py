@@ -56,7 +56,7 @@ class StreamingFusionStrategy(ExecutionStrategy):
     def execute(self, network: Network,
                 arrays: Mapping[str, BindingInput],
                 env: CLEnvironment) -> ExecutionReport:
-        bindings, n, dtype = self._prepare(network, arrays)
+        bindings, n, dtype = self.prepare(network, arrays)
         if env.dry_run:
             raise StrategyError(
                 "streaming works on live arrays; plan its memory bound by "

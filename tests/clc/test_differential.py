@@ -110,7 +110,7 @@ class TestFusedKernels:
         report = engine.execute(compiled, inputs)
 
         strategy = FusionStrategy()
-        bindings, n, dtype = strategy._prepare(compiled.network, inputs)
+        bindings, n, dtype = strategy.prepare(compiled.network, inputs)
         (stage,), _ = plan_stages(compiled.network)
         (source,) = report.generated_sources.values()
 

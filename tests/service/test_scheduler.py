@@ -1,0 +1,192 @@
+"""Unit tests for the service's policy pieces: the bounded admission
+queue, the least-loaded/affinity scheduler, and the metrics math.
+
+These exercise each component in isolation (stub requests, stub
+workers) — no threads, no engines — so policy regressions localize.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceClosed, ServiceOverloaded
+from repro.service import (AdmissionQueue, LatencyStats,
+                           LeastLoadedScheduler, percentile)
+from repro.strategies.plancache import PlanCache, PlanKey
+
+
+class StubRequest:
+    """Just enough of ServiceRequest for queue tests."""
+
+    def __init__(self, request_id):
+        self.id = request_id
+        self.expression = "stub"
+        self.outcome = None
+
+    def resolve_rejected(self, depth):
+        self.outcome = ("rejected", depth)
+        return True
+
+    def resolve_cancelled(self):
+        self.outcome = ("cancelled",)
+        return True
+
+
+class TestAdmissionQueue:
+    def test_fifo_order(self):
+        queue = AdmissionQueue(4)
+        first, second = StubRequest(1), StubRequest(2)
+        assert queue.offer(first) == 1
+        assert queue.offer(second) == 2
+        assert queue.take(timeout=0) is first
+        assert queue.take(timeout=0) is second
+        assert queue.take(timeout=0) is None
+
+    def test_overload_rejects_and_resolves(self):
+        queue = AdmissionQueue(2)
+        queue.offer(StubRequest(1))
+        queue.offer(StubRequest(2))
+        overflow = StubRequest(3)
+        with pytest.raises(ServiceOverloaded) as excinfo:
+            queue.offer(overflow)
+        assert excinfo.value.depth == 2
+        assert overflow.outcome == ("rejected", 2)
+        assert len(queue) == 2          # nothing was displaced
+
+    def test_close_returns_leftovers_and_refuses(self):
+        queue = AdmissionQueue(4)
+        queued = [StubRequest(i) for i in range(3)]
+        for request in queued:
+            queue.offer(request)
+        leftovers = queue.close()
+        assert leftovers == queued
+        assert len(queue) == 0
+        late = StubRequest(99)
+        with pytest.raises(ServiceClosed):
+            queue.offer(late)
+        assert late.outcome == ("cancelled",)
+
+    def test_gauge_sees_every_depth_change(self):
+        depths = []
+        queue = AdmissionQueue(4, gauge=depths.append)
+        queue.offer(StubRequest(1))
+        queue.offer(StubRequest(2))
+        queue.take(timeout=0)
+        queue.close()
+        assert depths == [1, 2, 1, 0]
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+
+def make_key() -> PlanKey:
+    return PlanKey(signature="sig", strategy=("fusion",),
+                   dtype=np.dtype(np.float64), n=64,
+                   source_shapes=(((64,), np.dtype(np.float64)),),
+                   device=("front", 1), backend="vectorized")
+
+
+class StubWorker:
+    """WorkerView stub: a fixed load and a distinct per-worker device."""
+
+    def __init__(self, index, outstanding):
+        self.index = index
+        self.outstanding = outstanding
+
+    def device_key(self, key):
+        return replace(key, device=(f"dev{self.index}", 1))
+
+
+class TestLeastLoadedScheduler:
+    def test_no_key_goes_least_loaded(self):
+        scheduler = LeastLoadedScheduler(PlanCache())
+        workers = [StubWorker(0, 3), StubWorker(1, 1), StubWorker(2, 2)]
+        decision = scheduler.pick(workers, None)
+        assert decision.worker is workers[1]
+        assert not decision.affinity_hit
+
+    def test_ties_break_by_index(self):
+        scheduler = LeastLoadedScheduler(PlanCache())
+        workers = [StubWorker(0, 1), StubWorker(1, 1)]
+        assert scheduler.pick(workers, None).worker is workers[0]
+
+    def test_warm_worker_preferred_within_slack(self):
+        cache = PlanCache()
+        key = make_key()
+        workers = [StubWorker(0, 1), StubWorker(1, 2)]
+        cache.put(workers[1].device_key(key), object())
+        decision = LeastLoadedScheduler(cache, affinity_slack=1).pick(
+            workers, key)
+        assert decision.worker is workers[1]
+        assert decision.affinity_hit
+
+    def test_affinity_bounded_by_slack(self):
+        cache = PlanCache()
+        key = make_key()
+        workers = [StubWorker(0, 0), StubWorker(1, 2)]
+        cache.put(workers[1].device_key(key), object())
+        decision = LeastLoadedScheduler(cache, affinity_slack=1).pick(
+            workers, key)
+        assert decision.worker is workers[0]   # warm but 2 > 0 + 1
+        assert not decision.affinity_hit
+
+    def test_least_loaded_among_warm(self):
+        cache = PlanCache()
+        key = make_key()
+        workers = [StubWorker(0, 5), StubWorker(1, 1), StubWorker(2, 0)]
+        cache.put(workers[0].device_key(key), object())
+        cache.put(workers[1].device_key(key), object())
+        decision = LeastLoadedScheduler(cache, affinity_slack=1).pick(
+            workers, key)
+        assert decision.worker is workers[1]
+        assert decision.affinity_hit
+
+    def test_affinity_probe_leaves_counters_alone(self):
+        cache = PlanCache()
+        key = make_key()
+        cache.put(key, object())
+        workers = [StubWorker(0, 0)]
+        LeastLoadedScheduler(cache).pick(workers, make_key())
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            LeastLoadedScheduler(PlanCache()).pick([], None)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            LeastLoadedScheduler(PlanCache(), affinity_slack=-1)
+
+
+class TestLatencyMath:
+    def test_percentile_nearest_rank(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 50) == 51.0    # rank round(0.5 * 99)
+        assert percentile(samples, 100) == 100.0
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_latency_stats_summary(self):
+        stats = LatencyStats()
+        for value in (0.2, 0.1, 0.4, 0.3):
+            stats.record(value)
+        summary = stats.summary()
+        assert summary["count"] == 4
+        assert summary["max_s"] == 0.4
+        assert summary["mean_s"] == pytest.approx(0.25)
+        assert summary["p50_s"] in (0.2, 0.3)
+        assert summary["p99_s"] == 0.4
+
+    def test_reservoir_stays_bounded(self, monkeypatch):
+        monkeypatch.setattr("repro.service.metrics.MAX_LATENCY_SAMPLES", 8)
+        stats = LatencyStats()
+        for i in range(100):
+            stats.record(float(i))
+        assert stats.count == 100
+        assert len(stats._samples) < 16       # thinned, not unbounded
+        assert stats.summary()["max_s"] == 99.0

@@ -199,16 +199,27 @@ class TestMultiDeviceStrategy:
     def test_per_device_reports(self, fields):
         strategy = MultiDeviceStrategy(devices=("gpu", "gpu"))
         engine = DerivedFieldEngine(device="gpu", strategy=strategy)
-        engine.execute(vortex.Q_CRITERION, fields)
-        assert len(strategy.device_reports) == 2
+        report = engine.execute(vortex.Q_CRITERION, fields)
+        assert len(report.device_reports) == 2
         assert all(r.counts.kernel_execs == 1
-                   for r in strategy.device_reports)
+                   for r in report.device_reports)
+
+    def test_strategy_holds_no_per_run_state(self, fields):
+        # device_reports lives on the report, not the strategy — one
+        # instance is reusable across runs (and threads).
+        strategy = MultiDeviceStrategy(devices=("gpu", "gpu"))
+        assert not hasattr(strategy, "device_reports")
+        engine = DerivedFieldEngine(device="gpu", strategy=strategy)
+        first = engine.execute(vortex.Q_CRITERION, fields)
+        second = engine.execute(vortex.Q_CRITERION, fields)
+        assert not hasattr(strategy, "device_reports")
+        assert len(first.device_reports) == len(second.device_reports) == 2
 
     def test_makespan_less_than_serial_sum(self, fields):
         strategy = MultiDeviceStrategy(devices=("gpu", "gpu"))
         engine = DerivedFieldEngine(device="gpu", strategy=strategy)
         report = engine.execute(vortex.Q_CRITERION, fields)
-        serial = sum(r.timing.total for r in strategy.device_reports)
+        serial = sum(r.timing.total for r in report.device_reports)
         assert report.timing.total < serial
 
     def test_memory_split_across_devices(self, fields):

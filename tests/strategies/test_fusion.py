@@ -136,7 +136,7 @@ class TestRegisterAccounting:
         for text, floor in [(vortex.VELOCITY_MAGNITUDE, 1),
                             (vortex.Q_CRITERION, 10)]:
             net = network_for(text)
-            bindings, n, dtype = strategy._prepare(
+            bindings, n, dtype = strategy.prepare(
                 net, {k: small_fields[k] for k in net.live_sources()})
             stages, _ = plan_stages(net)
             _, cost, _ = strategy._generate(net, stages[0], bindings, n,
