@@ -1,0 +1,81 @@
+"""Validate a Chrome trace-event JSON file (CI trace-smoke gate).
+
+Usage::
+
+    python benchmarks/validate_trace.py trace.json
+
+Checks the invariants the exporter promises — the ones a trace viewer
+needs to load the file at all:
+
+* top level is ``{"traceEvents": [...]}``;
+* every event has ``name``/``ph``/``ts``/``pid``/``tid``; complete
+  events (``ph: "X"``) also carry a non-negative ``dur``;
+* timestamps are non-negative and, past the leading metadata block,
+  sorted ascending;
+* at least one engine-phase span, one device-lane event, and one counter
+  sample are present (an empty trace means the instrumentation fell off).
+
+Exit code 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def fail(message: str) -> int:
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def validate(path: str) -> int:
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return fail(f"cannot load {path!r}: {exc}")
+
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return fail("top level must be an object with 'traceEvents'")
+    events = data["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return fail("'traceEvents' must be a non-empty list")
+
+    for i, event in enumerate(events):
+        missing = [k for k in REQUIRED_KEYS if k not in event]
+        if missing:
+            return fail(f"event {i} missing keys {missing}: {event}")
+        if event["ts"] < 0:
+            return fail(f"event {i} has negative ts: {event['ts']}")
+        if event["ph"] == "X" and event.get("dur", -1) < 0:
+            return fail(f"complete event {i} lacks non-negative dur")
+
+    data_events = [e for e in events if e["ph"] != "M"]
+    for prev, event in zip(data_events, data_events[1:]):
+        if event["ts"] < prev["ts"]:
+            return fail(f"timestamps not sorted: {prev['ts']} then "
+                        f"{event['ts']} ({event['name']!r})")
+
+    phases = {e["name"] for e in events if e.get("cat") == "engine"}
+    if not phases & {"engine.execute", "engine.compile"}:
+        return fail("no engine-phase spans found")
+    if not any(e["ph"] == "X" and e["pid"] > 1 for e in events):
+        return fail("no device-lane events found")
+    if not any(e["ph"] == "C" for e in events):
+        return fail("no counter samples found")
+
+    lanes = {(e["pid"], e["tid"]) for e in events
+             if e["ph"] == "X" and e["pid"] > 1}
+    print(f"validate_trace: OK: {len(events)} events, "
+          f"{len(data_events)} data, {len(lanes)} device lanes")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    sys.exit(validate(sys.argv[1]))

@@ -60,20 +60,23 @@ def _expression(args) -> str:
 def cmd_derive(args) -> int:
     grid = _parse_grid(args.grid)
     fields = make_fields(grid, seed=args.seed)
-    engine = DerivedFieldEngine(device=args.device, strategy=args.strategy)
+    tracer = None
+    if args.trace or args.profile:
+        from .trace import Tracer
+        tracer = Tracer()
+    engine = DerivedFieldEngine(device=args.device, strategy=args.strategy,
+                                tracer=tracer)
     compiled = engine.compile(_expression(args))
     inputs = {k: fields[k] for k in compiled.required_inputs}
     report = engine.execute(compiled, inputs)
     if args.trace:
-        import json
-        # rebuild the event timeline by re-running instrumented
-        from .clsim import CLEnvironment
-        env = CLEnvironment(args.device)
-        engine.strategy.execute(compiled.network, inputs, env)
-        with open(args.trace, "w") as handle:
-            json.dump(env.queue.log.to_chrome_trace(), handle)
-        print(f"wrote device timeline to {args.trace} "
+        from .trace import write_chrome_trace
+        n_events = write_chrome_trace(tracer, args.trace)
+        print(f"wrote {n_events} trace events to {args.trace} "
               "(open in chrome://tracing or Perfetto)")
+    if args.profile:
+        from .trace import format_profile
+        print(format_profile(tracer))
     out = report.output
     print(f"derived {compiled.result_name!r} over {grid.n_cells:,} cells "
           f"on {args.device} / {report.strategy}")
@@ -210,16 +213,34 @@ def cmd_serve(args) -> int:
     except ValueError as exc:
         raise SystemExit(str(exc))
 
+    tracer = None
+    if args.trace_dir:
+        from .trace import Tracer
+        tracer = Tracer()
+
     print(f"serving {sorted({c.name for c in cases})} over "
           f"{grid.n_cells:,} cells on devices {devices} "
           f"({args.strategy}), queue depth {args.queue_depth}")
     with DerivedFieldService(devices=devices, strategy=args.strategy,
                              queue_depth=args.queue_depth,
-                             default_timeout=args.timeout) as service:
+                             default_timeout=args.timeout,
+                             tracer=tracer) as service:
         report = run_load(service, cases, clients=args.clients,
                           requests=args.requests)
         snapshot = service.snapshot()
     print(format_load_report(report))
+    if args.trace_dir:
+        import os
+
+        from .trace import format_profile, write_chrome_trace
+        os.makedirs(args.trace_dir, exist_ok=True)
+        trace_path = os.path.join(args.trace_dir, "trace.json")
+        profile_path = os.path.join(args.trace_dir, "profile.txt")
+        n_events = write_chrome_trace(tracer, trace_path)
+        with open(profile_path, "w") as handle:
+            handle.write(format_profile(tracer) + "\n")
+        print(f"wrote {n_events} trace events to {trace_path} and the "
+              f"phase profile to {profile_path}")
     if args.json:
         with open(args.json, "w") as handle:
             json.dump({"load": report, "metrics": snapshot}, handle,
@@ -250,8 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print plan-cache and allocator/pool "
                         "statistics for this run")
     p.add_argument("--trace", metavar="FILE",
-                   help="write the modeled device timeline as Chrome "
+                   help="trace this run (engine phases, strategy spans, "
+                        "modeled device lanes) and write Chrome "
                         "trace-event JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-phase self/total time profile of "
+                        "this run")
     p.set_defaults(fn=cmd_derive)
 
     p = sub.add_parser("check",
@@ -300,6 +325,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="FILE", default=None,
                    help="also write the load report and metrics snapshot "
                         "as JSON")
+    p.add_argument("--trace-dir", metavar="DIR", default=None,
+                   help="trace the whole run and write DIR/trace.json "
+                        "(Chrome trace events) and DIR/profile.txt")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("plan",

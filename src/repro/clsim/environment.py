@@ -23,6 +23,7 @@ from .device import DeviceSpec, DeviceType
 from .events import Event, EventCounts, EventKind
 from .platform import find_device
 from .queue import CommandQueue
+from ..trace import NULL_TRACER
 
 __all__ = ["CLEnvironment", "TimingSummary"]
 
@@ -52,12 +53,15 @@ class CLEnvironment:
 
     def __init__(self, device: str | DeviceType | DeviceSpec = "gpu", *,
                  dry_run: bool = False, backend: str = "vectorized",
-                 pooling: bool = False):
+                 pooling: bool = False, tracer=None):
         if isinstance(device, DeviceSpec):
             self.device = device
         else:
             self.device = find_device(device)
         self.dry_run = dry_run
+        # The owning engine's tracer (strategies read it for launch-phase
+        # spans); NULL_TRACER keeps the hot path allocation-free.
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.context = Context(self.device, dry_run=dry_run,
                                backend=backend, pooling=pooling)
         self.queue = CommandQueue(self.context)

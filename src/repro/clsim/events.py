@@ -14,8 +14,8 @@ performance model (used to reproduce the paper's figures at full scale) and
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
 
 __all__ = ["EventKind", "Event", "EventLog", "EventCounts"]
 
@@ -38,6 +38,9 @@ class Event:
     nbytes: int
     sim_seconds: float
     wall_seconds: float = 0.0
+    # Modeled start offset on the in-order queue timeline, stamped by
+    # :meth:`EventLog.record` (None until recorded).
+    ts_seconds: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -54,15 +57,27 @@ class EventCounts:
 
 @dataclass
 class EventLog:
-    """Append-only log with per-category aggregation."""
+    """Append-only log with per-category aggregation.
+
+    Recording stamps each event's ``ts_seconds`` with the modeled queue
+    cursor — the in-order device executes events back to back, so an
+    event starts where its predecessor ended.  Timestamps are therefore
+    monotonically non-decreasing within one log, which is what lets the
+    trace layer lay events onto device lanes without re-deriving offsets.
+    """
 
     events: list[Event] = field(default_factory=list)
+    cursor: float = 0.0
 
     def record(self, event: Event) -> None:
+        if event.ts_seconds is None:
+            event = replace(event, ts_seconds=self.cursor)
+        self.cursor = event.ts_seconds + event.sim_seconds
         self.events.append(event)
 
     def clear(self) -> None:
         self.events.clear()
+        self.cursor = 0.0
 
     # -- aggregation -------------------------------------------------------
 
@@ -106,19 +121,16 @@ class EventLog:
         in-order simulated queue.  Timestamps/durations are microseconds.
         """
         trace = []
-        cursor = 0.0
         for e in self.events:
-            duration_us = e.sim_seconds * 1e6
             trace.append({
                 "name": e.name,
                 "cat": e.kind.value,
                 "ph": "X",
-                "ts": cursor,
-                "dur": duration_us,
+                "ts": (e.ts_seconds or 0.0) * 1e6,
+                "dur": e.sim_seconds * 1e6,
                 "pid": 1,
                 "tid": 1,
                 "args": {"bytes": e.nbytes,
                          "wall_seconds": e.wall_seconds},
             })
-            cursor += duration_us
         return trace

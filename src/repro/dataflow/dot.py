@@ -6,9 +6,15 @@ Sources render as ellipses, constants as diamonds, filters as boxes —
 matching the paper's circles-for-data / boxes-for-filters convention from
 Fig 2 — with user-assigned names from assignment statements attached as
 labels.
+
+Passing ``trace=`` (a :class:`~repro.trace.Tracer` from a traced run, or
+its device spans) annotates each filter box with the modeled time of its
+kernel launches, so the hot filters are visible directly on the graph.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from .spec import CONST, SOURCE, NetworkSpec
 
@@ -19,8 +25,46 @@ def _escape(text: str) -> str:
     return text.replace('"', '\\"')
 
 
-def render_dot(spec: NetworkSpec, *, graph_name: str = "network") -> str:
-    """Emit a Graphviz digraph for a network specification."""
+def _kernel_timings(trace) -> dict[str, tuple[int, float]]:
+    """kernel name -> (launches, total modeled seconds) from a traced run.
+
+    ``trace`` is a Tracer (its ``device_spans`` are used) or any iterable
+    of :class:`~repro.trace.DeviceSpan`.
+    """
+    spans = getattr(trace, "device_spans", trace)
+    timings: dict[str, tuple[int, float]] = {}
+    for span in spans:
+        if span.category != "kernel":
+            continue
+        count, total = timings.get(span.name, (0, 0.0))
+        timings[span.name] = (count + 1, total + span.duration)
+    return timings
+
+
+def _node_timing(filter_name: str,
+                 timings: dict[str, tuple[int, float]],
+                 ) -> Optional[tuple[int, float]]:
+    """Aggregate of the kernels generated for one filter (``k_<filter>``
+    exactly, or with an argument-kind tag suffix ``k_<filter>_<tag>``)."""
+    exact = f"k_{filter_name}"
+    prefix = exact + "_"
+    count, total = 0, 0.0
+    for name, (n, seconds) in timings.items():
+        if name == exact or name.startswith(prefix):
+            count += n
+            total += seconds
+    return (count, total) if count else None
+
+
+def render_dot(spec: NetworkSpec, *, graph_name: str = "network",
+               trace=None) -> str:
+    """Emit a Graphviz digraph for a network specification.
+
+    With ``trace`` (a Tracer or device spans from a traced run), filter
+    boxes gain a modeled-time annotation and fused-kernel time (which has
+    no single owning node) is reported on a graph label.
+    """
+    timings = _kernel_timings(trace) if trace is not None else {}
     alias_of: dict[str, list[str]] = {}
     for user_name, node_id in spec.aliases.items():
         alias_of.setdefault(node_id, []).append(user_name)
@@ -46,6 +90,11 @@ def render_dot(spec: NetworkSpec, *, graph_name: str = "network") -> str:
                 label = f"{label}[{component}]"
             if names:
                 label += "\\n" + ", ".join(sorted(names))
+            timing = _node_timing(node.filter, timings)
+            if timing is not None:
+                count, total = timing
+                label += (f"\\n{total * 1e3:.3f} ms"
+                          + (f" ({count} launches)" if count > 1 else ""))
             shape, style = "box", "rounded,filled"
             color = "#e8ffe8" if node.id not in outputs else "#ffd9d9"
         lines.append(
@@ -59,5 +108,17 @@ def render_dot(spec: NetworkSpec, *, graph_name: str = "network") -> str:
             f'    "__result__" [label="derived field", shape=ellipse, '
             f'style="filled", fillcolor="#cfe8ff"];')
         lines.append(f'    "{output}" -> "__result__";')
+    # Fused kernels span many nodes at once, so their time has no single
+    # box to land on — report it as a graph label instead.
+    fused = [(name, count, total)
+             for name, (count, total) in sorted(timings.items())
+             if name.startswith("k_fused")]
+    if fused:
+        parts = [f"{name}: {total * 1e3:.3f} ms"
+                 + (f" ({count} launches)" if count > 1 else "")
+                 for name, count, total in fused]
+        lines.append(f'    label="fused kernels: '
+                     f'{_escape("; ".join(parts))}";')
+        lines.append("    labelloc=b;")
     lines.append("}")
     return "\n".join(lines) + "\n"

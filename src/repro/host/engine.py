@@ -40,6 +40,7 @@ from ..primitives.base import PrimitiveRegistry, ResultKind
 from ..strategies import ExecutionReport, ExecutionStrategy, get_strategy
 from ..strategies.bindings import ArraySpec, Binding, BindingInput
 from ..strategies.plancache import PlanCache, PlanKey, plan_key
+from ..trace import NULL_TRACER, Tracer
 
 __all__ = ["CompiledExpression", "DerivedFieldEngine",
            "PreparedExecution"]
@@ -111,8 +112,9 @@ class DerivedFieldEngine:
                  cse: bool = True, commutative_cse: bool = False,
                  dry_run: bool = False, backend: str = "vectorized",
                  plan_cache: Union[bool, int, PlanCache] = True,
-                 pooling: bool = True):
+                 pooling: bool = True, tracer: Optional[Tracer] = None):
         self.device = device
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.device_spec: DeviceSpec = (
             device if isinstance(device, DeviceSpec) else find_device(device))
         self.strategy = (get_strategy(strategy)
@@ -151,15 +153,22 @@ class DerivedFieldEngine:
         compiled = self._cache.get(key)
         if compiled is not None:
             return compiled
-        program = parse(expression)
-        spec, source_kinds = lower(program, registry=self.registry,
-                                   known_fields=known_fields)
-        if self.cse:
-            spec = eliminate_common_subexpressions(
-                spec, commutative=self.commutative_cse,
-                registry=self.registry)
-        network = Network(spec, registry=self.registry,
-                          source_kinds=source_kinds)
+        tracer = self.tracer
+        with tracer.span("engine.compile", category="engine",
+                         expression=expression):
+            with tracer.span("parse", category="engine"):
+                program = parse(expression)
+            with tracer.span("lower", category="engine"):
+                spec, source_kinds = lower(program, registry=self.registry,
+                                           known_fields=known_fields)
+            if self.cse:
+                with tracer.span("optimize", category="engine"):
+                    spec = eliminate_common_subexpressions(
+                        spec, commutative=self.commutative_cse,
+                        registry=self.registry)
+            with tracer.span("validate", category="engine"):
+                network = Network(spec, registry=self.registry,
+                                  source_kinds=source_kinds)
         compiled = CompiledExpression(expression, program.result_name,
                                       network)
         self._cache[key] = compiled
@@ -177,7 +186,8 @@ class DerivedFieldEngine:
         if self._env is None:
             self._env = CLEnvironment(self.device_spec,
                                       backend=self.backend,
-                                      pooling=self.pooling)
+                                      pooling=self.pooling,
+                                      tracer=self.tracer)
         return self._env
 
     def prepare(self, expression: Union[str, CompiledExpression],
@@ -191,53 +201,88 @@ class DerivedFieldEngine:
         safe to hand to another thread (or, re-keyed via
         ``key.for_device``, to a worker on a different device).
         """
-        compiled = (expression if isinstance(expression, CompiledExpression)
-                    else self.compile(expression))
-        missing = [name for name in compiled.required_inputs
-                   if name not in fields]
-        if missing:
-            raise HostInterfaceError(
-                f"expression {compiled.result_name!r} needs host fields "
-                f"{missing}; got {sorted(fields)}")
-        bindings, n, dtype = self.strategy.prepare(compiled.network, fields)
-        if (self.plan_cache is None or self.dry_run
-                or not hasattr(self.strategy, "build_plan")):
-            key: Optional[PlanKey] = None
-            sources: tuple[str, ...] = ()
-        else:
-            key, sources = plan_key(compiled.network, self.strategy,
-                                    bindings, n, dtype, self.device_spec,
-                                    self.backend)
-        return PreparedExecution(compiled=compiled, bindings=bindings,
-                                 n=n, dtype=dtype, key=key,
-                                 sources=sources)
+        with self.tracer.span("engine.prepare", category="engine"):
+            compiled = (expression
+                        if isinstance(expression, CompiledExpression)
+                        else self.compile(expression))
+            missing = [name for name in compiled.required_inputs
+                       if name not in fields]
+            if missing:
+                raise HostInterfaceError(
+                    f"expression {compiled.result_name!r} needs host "
+                    f"fields {missing}; got {sorted(fields)}")
+            bindings, n, dtype = self.strategy.prepare(compiled.network,
+                                                       fields)
+            if (self.plan_cache is None or self.dry_run
+                    or not hasattr(self.strategy, "build_plan")):
+                key: Optional[PlanKey] = None
+                sources: tuple[str, ...] = ()
+            else:
+                key, sources = plan_key(compiled.network, self.strategy,
+                                        bindings, n, dtype,
+                                        self.device_spec, self.backend)
+            return PreparedExecution(compiled=compiled, bindings=bindings,
+                                     n=n, dtype=dtype, key=key,
+                                     sources=sources)
 
     def execute_prepared(self, prepared: PreparedExecution,
                          ) -> ExecutionReport:
         """Run a previously prepared request (see :meth:`prepare`)."""
+        tracer = self.tracer
         if prepared.key is None:
-            env = CLEnvironment(self.device_spec, dry_run=self.dry_run,
-                                backend=self.backend)
-            report = self.strategy.execute(prepared.compiled.network,
-                                           prepared.bindings, env)
-            report.alloc = env.alloc_stats()
-            return report
+            with tracer.span("engine.execute", category="engine",
+                             strategy=self.strategy.name,
+                             device=self.device_spec.name, cached=False):
+                env = CLEnvironment(self.device_spec, dry_run=self.dry_run,
+                                    backend=self.backend, tracer=tracer)
+                anchor = tracer.now()
+                with tracer.span("execute", category="engine"):
+                    report = self.strategy.execute(
+                        prepared.compiled.network, prepared.bindings, env)
+                report.alloc = env.alloc_stats()
+                self._trace_device_run(env, anchor)
+                return report
 
         with self._exec_lock:
-            env = self._warm_environment()
-            env.reset_instrumentation()
-            plan = self.plan_cache.get(prepared.key)
-            hit = plan is not None
-            if plan is None:
-                plan = self.strategy.build_plan(
-                    prepared.compiled.network, prepared.bindings,
-                    prepared.n, prepared.dtype)
-                self.plan_cache.put(prepared.key, plan)
-            report = plan.run(plan.rebind(prepared.bindings,
-                                          prepared.sources), env)
-            report.cache = self.plan_cache.info(hit)
-            report.alloc = env.alloc_stats()
-            return report
+            with tracer.span("engine.execute", category="engine",
+                             strategy=self.strategy.name,
+                             device=self.device_spec.name,
+                             cached=True) as exec_span:
+                env = self._warm_environment()
+                env.reset_instrumentation()
+                with tracer.span("plan.lookup", category="engine") as look:
+                    plan = self.plan_cache.get(prepared.key)
+                    hit = plan is not None
+                    look.annotate(hit=hit)
+                if plan is None:
+                    with tracer.span("plan.build", category="engine"):
+                        plan = self.strategy.build_plan(
+                            prepared.compiled.network, prepared.bindings,
+                            prepared.n, prepared.dtype)
+                    self.plan_cache.put(prepared.key, plan)
+                anchor = tracer.now()
+                with tracer.span("plan.launch", category="engine"):
+                    report = plan.run(plan.rebind(prepared.bindings,
+                                                  prepared.sources), env)
+                report.cache = self.plan_cache.info(hit)
+                report.alloc = env.alloc_stats()
+                exec_span.annotate(cache_hit=hit)
+                self._trace_device_run(env, anchor)
+                return report
+
+    def _trace_device_run(self, env: CLEnvironment, anchor: float) -> None:
+        """Bridge one run's device events into trace lanes and sample the
+        pool/allocator gauges (no-op under the NullTracer)."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        lane = threading.current_thread().name
+        tracer.add_device_events(self.device_spec.name,
+                                 env.queue.log.events, anchor=anchor,
+                                 lane=lane)
+        stats = env.alloc_stats()
+        tracer.counter("pooled_bytes", stats.pooled_bytes)
+        tracer.counter("live_bytes", stats.live_bytes)
 
     def execute(self, expression: Union[str, CompiledExpression],
                 fields: Mapping[str, BindingInput]) -> ExecutionReport:

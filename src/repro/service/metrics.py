@@ -25,11 +25,15 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import deque
 from typing import Optional
 
 from .request import RequestStatus, ServiceRequest
 
 __all__ = ["LatencyStats", "ServiceMetrics", "percentile"]
+
+# Most recent traced requests retained in the snapshot (ring buffer).
+MAX_TRACE_RECORDS = 64
 
 # Per-expression latency samples kept for percentile estimation.  Beyond
 # the cap we keep a uniformly-thinned reservoir (every other sample) so
@@ -109,6 +113,10 @@ class ServiceMetrics:
         self.cache_hits = 0
         self._latency: dict[str, LatencyStats] = {}
         self._devices: dict[str, _DeviceStats] = {}
+        # Traced requests (service built with a Tracer): request id ->
+        # trace id join records, newest last.
+        self._traces: "deque[dict]" = deque(maxlen=MAX_TRACE_RECORDS)
+        self._traced_total = 0
 
     # -- update paths (service internals) -----------------------------------
 
@@ -141,6 +149,17 @@ class ServiceMetrics:
                                                  LatencyStats())
                 if request.latency is not None:
                     stats.record(request.latency)
+            trace_id = getattr(request, "trace_id", None)
+            if trace_id is not None:
+                self._traced_total += 1
+                self._traces.append({
+                    "request": request.id,
+                    "trace_id": trace_id,
+                    "expression": request.expression,
+                    "status": status.value,
+                    "device": request.device,
+                    "latency_s": request.latency,
+                })
 
     def record_execution(self, device: str, busy_seconds: float,
                          modeled_seconds: float,
@@ -205,6 +224,10 @@ class ServiceMetrics:
                                  if self.cache_lookups else 0.0),
                 },
                 "devices": devices,
+                "traces": {
+                    "recorded": self._traced_total,
+                    "recent": [dict(t) for t in self._traces],
+                },
             }
 
     def to_json(self, indent: int = 2) -> str:

@@ -67,7 +67,7 @@ class ServiceRequest:
 
     def __init__(self, request_id: int, expression: str,
                  prepared: "PreparedExecution",
-                 deadline: Optional[float] = None):
+                 deadline: Optional[float] = None, span=None):
         self.id = request_id
         self.expression = expression          # label for metrics/reports
         self.prepared = prepared
@@ -77,6 +77,14 @@ class ServiceRequest:
         self.report: "Optional[ExecutionReport]" = None
         self.error: Optional[BaseException] = None
         self.latency: Optional[float] = None  # submit -> resolve, seconds
+        # Tracing: the request's root span (started by the service at
+        # submission, finished here at resolution) and the queue-wait
+        # child the dispatcher closes on take.  Both None when the
+        # service runs untraced.
+        self.span = span
+        self.trace_id: Optional[str] = (
+            getattr(span, "trace_id", None) if span is not None else None)
+        self.queue_span = None
         self._status = RequestStatus.QUEUED
         self._lock = threading.Lock()
         self._done = threading.Event()
@@ -161,7 +169,13 @@ class ServiceRequest:
             self.device = device
             self.latency = time.monotonic() - self.submitted_at
             self._done.set()
-            return True
+        if self.queue_span is not None:
+            self.queue_span.finish()      # idempotent; covers early exits
+        if self.span is not None:
+            self.span.annotate(status=status.value,
+                               device=device or "")
+            self.span.finish()
+        return True
 
     def resolve_served(self, report: "ExecutionReport",
                        device: str) -> bool:

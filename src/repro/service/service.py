@@ -44,6 +44,7 @@ from ..clsim.device import DeviceSpec, DeviceType
 from ..errors import ServiceClosed
 from ..strategies.bindings import BindingInput
 from ..strategies.plancache import PlanCache
+from ..trace import NULL_TRACER, Tracer
 from .metrics import ServiceMetrics
 from .queue import AdmissionQueue
 from .request import ServiceRequest
@@ -80,19 +81,21 @@ class DerivedFieldService:
                  default_timeout: Optional[float] = None,
                  affinity_slack: int = 1,
                  backend: str = "vectorized",
-                 start: bool = True):
+                 start: bool = True,
+                 tracer: Optional[Tracer] = None):
         if not devices:
             raise ValueError("service needs at least one device")
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.plan_cache = PlanCache(plan_cache_size)
         self.metrics = ServiceMetrics()
         self.default_timeout = default_timeout
-        self._queue = AdmissionQueue(queue_depth,
-                                     gauge=self.metrics.set_queue_depth)
+        self._queue = AdmissionQueue(queue_depth, gauge=self._gauge)
         self._scheduler = LeastLoadedScheduler(self.plan_cache,
                                                affinity_slack)
         self.workers = [
             DeviceWorker(i, device, strategy, self.plan_cache,
-                         self.metrics, self._request_done, backend=backend)
+                         self.metrics, self._request_done, backend=backend,
+                         tracer=self.tracer)
             for i, device in enumerate(devices)
         ]
         # Requests are prepared (compiled, validated, keyed) through the
@@ -176,12 +179,27 @@ class DerivedFieldService:
         """
         if self._closed:
             raise ServiceClosed("service is shut down; submit refused")
-        prepared = self._front.prepare(expression, fields)
+        request_id = next(self._ids)
+        # The request's root span: no parent (fresh trace id), finished by
+        # the request itself at resolution — possibly on another thread.
+        span = self.tracer.span("request", category="service",
+                                parent=None, request=request_id).start()
+        try:
+            with self.tracer.span("submit.prepare", category="service",
+                                  parent=span):
+                prepared = self._front.prepare(expression, fields)
+        except Exception:
+            span.annotate(status="invalid")
+            span.finish()
+            raise
+        span.annotate(expression=prepared.compiled.result_name)
         timeout = self.default_timeout if timeout is None else timeout
         deadline = None if timeout is None else time.monotonic() + timeout
-        request = ServiceRequest(next(self._ids),
+        request = ServiceRequest(request_id,
                                  prepared.compiled.result_name,
-                                 prepared, deadline)
+                                 prepared, deadline, span=span)
+        request.queue_span = self.tracer.span(
+            "queue.wait", category="service", parent=span).start()
         with self._idle:
             self._inflight += 1
         try:
@@ -215,6 +233,11 @@ class DerivedFieldService:
 
     # -- internals ----------------------------------------------------------
 
+    def _gauge(self, depth: int) -> None:
+        """Admission-queue depth fan-out: metrics gauge + trace counter."""
+        self.metrics.set_queue_depth(depth)
+        self.tracer.counter("queue_depth", depth)
+
     def _dispatch_loop(self) -> None:
         while True:
             request = self._queue.take(timeout=0.05)
@@ -222,6 +245,8 @@ class DerivedFieldService:
                 if self._closed and len(self._queue) == 0:
                     return
                 continue
+            if request.queue_span is not None:
+                request.queue_span.finish()
             if request.cancelled:
                 if request.resolve_cancelled():
                     self._request_done(request)

@@ -49,11 +49,11 @@ class DeviceWorker:
                  strategy: str, plan_cache: PlanCache,
                  metrics: ServiceMetrics,
                  on_done: Callable[[ServiceRequest], None],
-                 backend: str = "vectorized"):
+                 backend: str = "vectorized", tracer=None):
         self.index = index
         self.engine = DerivedFieldEngine(
             device=device, strategy=strategy, plan_cache=plan_cache,
-            pooling=True, backend=backend)
+            pooling=True, backend=backend, tracer=tracer)
         token = device if isinstance(device, str) else \
             self.engine.device_spec.device_type.value
         self.name = f"{index}:{token}"
@@ -142,7 +142,15 @@ class DeviceWorker:
                                    key=self.device_key(prepared.key))
             start = time.perf_counter()
             try:
-                report = self.engine.execute_prepared(prepared)
+                # The request's root span lives on the submitting thread's
+                # trace; parenting explicitly carries its trace id across
+                # the queue into this worker thread.
+                with self.engine.tracer.span("worker.execute",
+                                             category="service",
+                                             parent=request.span,
+                                             worker=self.name,
+                                             request=request.id):
+                    report = self.engine.execute_prepared(prepared)
             except BaseException as exc:
                 busy = time.perf_counter() - start
                 self.metrics.record_execution(self.name, busy, 0.0,

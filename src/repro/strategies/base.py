@@ -73,6 +73,68 @@ class ExecutionReport:
     alloc: Optional[AllocationStats] = None
     device_reports: "tuple[DeviceReport, ...]" = ()
 
+    # -- stable JSON round-trip ----------------------------------------------
+
+    def to_json(self) -> dict:
+        """A stable, ``json.dumps``-able view of the report.
+
+        Trace files and bench artifacts embed this instead of ad-hoc
+        ``__dict__`` dumps.  The output array itself is *not* serialized
+        (only its shape/dtype); everything else — counts, timing, memory,
+        sources, cache/alloc counters, per-device reports — round-trips
+        through :meth:`from_json` unchanged.
+        """
+        from dataclasses import asdict
+        return {
+            "strategy": self.strategy,
+            "output": (None if self.output is None else
+                       {"shape": list(self.output.shape),
+                        "dtype": str(self.output.dtype)}),
+            "counts": asdict(self.counts),
+            "timing": asdict(self.timing),
+            "mem_high_water": self.mem_high_water,
+            "generated_sources": dict(self.generated_sources),
+            "cache": None if self.cache is None else asdict(self.cache),
+            "alloc": None if self.alloc is None else asdict(self.alloc),
+            "device_reports": [
+                {"device": d.device, "counts": asdict(d.counts),
+                 "timing": asdict(d.timing),
+                 "mem_high_water": d.mem_high_water}
+                for d in self.device_reports],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ExecutionReport":
+        """Rebuild a report from :meth:`to_json` output.  ``output`` comes
+        back ``None`` — arrays are never serialized."""
+        from ..clsim.buffer import AllocationStats as Alloc
+        from .multidevice import DeviceReport
+        from .plancache import CacheInfo
+
+        def counts(d: dict) -> EventCounts:
+            return EventCounts(**d)
+
+        def timing(d: dict) -> TimingSummary:
+            return TimingSummary(**d)
+
+        return cls(
+            strategy=data["strategy"],
+            output=None,
+            counts=counts(data["counts"]),
+            timing=timing(data["timing"]),
+            mem_high_water=data["mem_high_water"],
+            generated_sources=dict(data.get("generated_sources", {})),
+            cache=(None if data.get("cache") is None
+                   else CacheInfo(**data["cache"])),
+            alloc=(None if data.get("alloc") is None
+                   else Alloc(**data["alloc"])),
+            device_reports=tuple(
+                DeviceReport(device=d["device"], counts=counts(d["counts"]),
+                             timing=timing(d["timing"]),
+                             mem_high_water=d["mem_high_water"])
+                for d in data.get("device_reports", ())),
+        )
+
 
 class ExecutionStrategy(abc.ABC):
     """Base class: orchestration helpers shared by all strategies."""
@@ -108,13 +170,19 @@ class ExecutionStrategy(abc.ABC):
         n, dtype = problem_size(bindings)
         return bindings, n, np.dtype(dtype)
 
+    # One warning per process, not per call: a strategy may sit on a hot
+    # serving path, and repeated warnings drown real ones.
+    _prepare_warned = False
+
     def _prepare(self, network: Network,
                  arrays: Mapping[str, BindingInput]):
         """Deprecated alias of :meth:`prepare` (pre-service private API)."""
-        import warnings
-        warnings.warn("ExecutionStrategy._prepare is deprecated; "
-                      "use the public prepare()", DeprecationWarning,
-                      stacklevel=2)
+        if not ExecutionStrategy._prepare_warned:
+            ExecutionStrategy._prepare_warned = True
+            import warnings
+            warnings.warn("ExecutionStrategy._prepare is deprecated; "
+                          "use the public prepare()", DeprecationWarning,
+                          stacklevel=2)
         return self.prepare(network, arrays)
 
     def _node_components(self, network: Network, node_id: str) -> int:

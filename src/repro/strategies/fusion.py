@@ -179,30 +179,39 @@ class FusionPlan(ExecutablePlan):
     def launch(self, bindings: Mapping[str, Binding],
                env: CLEnvironment) -> Optional[np.ndarray]:
         dry = env.dry_run
+        tracer = env.tracer
         buffers: dict[str, Buffer] = {}
         try:
             # Upload each input exactly once (Dev-W = number of sources).
-            for source_id in self.source_order:
-                binding = bindings[source_id]
-                if dry:
-                    buffers[source_id] = env.upload_shape(
-                        binding.nbytes, source_id)
-                else:
-                    buffers[source_id] = env.upload(binding.data, source_id)
+            with tracer.span("fusion.upload", category="strategy",
+                             sources=len(self.source_order)):
+                for source_id in self.source_order:
+                    binding = bindings[source_id]
+                    if dry:
+                        buffers[source_id] = env.upload_shape(
+                            binding.nbytes, source_id)
+                    else:
+                        buffers[source_id] = env.upload(binding.data,
+                                                        source_id)
 
             for step in self.stages:
-                out_buffers = []
-                for node_id, nbytes in step.writes:
-                    buf = env.create_buffer(nbytes, node_id)
-                    buffers[node_id] = buf
-                    out_buffers.append(buf)
-                arg_buffers = [buffers[node_id] for node_id in step.reads]
-                env.queue.enqueue_kernel(step.kernel, arg_buffers,
-                                         out_buffers, step.cost)
-                for node_id in step.releases:
-                    buffers[node_id].release()
+                with tracer.span("fusion.stage", category="strategy",
+                                 kernel=step.kernel.name):
+                    out_buffers = []
+                    for node_id, nbytes in step.writes:
+                        buf = env.create_buffer(nbytes, node_id)
+                        buffers[node_id] = buf
+                        out_buffers.append(buf)
+                    arg_buffers = [buffers[node_id]
+                                   for node_id in step.reads]
+                    env.queue.enqueue_kernel(step.kernel, arg_buffers,
+                                             out_buffers, step.cost)
+                    for node_id in step.releases:
+                        buffers[node_id].release()
 
-            result = env.queue.enqueue_read_buffer(buffers[self.output_id])
+            with tracer.span("fusion.readback", category="strategy"):
+                result = env.queue.enqueue_read_buffer(
+                    buffers[self.output_id])
         finally:
             # Mid-run failures (OOM on a stage output) must not leak the
             # already-uploaded sources; release is idempotent.

@@ -68,6 +68,7 @@ class RoundtripPlan(ExecutablePlan):
     def launch(self, bindings: Mapping[str, Binding],
                env: CLEnvironment) -> Optional[np.ndarray]:
         dry = env.dry_run
+        tracer = env.tracer
         # Host-side values for every node (None when planning).
         values: dict[str, Optional[np.ndarray]] = {}
         output: Optional[np.ndarray] = None
@@ -91,30 +92,37 @@ class RoundtripPlan(ExecutablePlan):
                         output = values[step.node_id]
                     continue
 
-                # Upload one fresh buffer per argument occurrence.
-                arg_buffers = []
-                for input_id, nbytes in zip(step.inputs, step.input_nbytes):
-                    if dry:
-                        buf = env.upload_shape(nbytes, input_id)
-                    else:
-                        buf = env.upload(values[input_id], input_id)
-                    live.append(buf)
-                    arg_buffers.append(buf)
-                out_buf = env.create_buffer(step.out_nbytes, step.node_id)
-                live.append(out_buf)
+                # Upload one fresh buffer per argument occurrence; the
+                # span covers the node's full round trip (up, launch,
+                # down) — the strategy's defining cost shape.
+                with tracer.span("roundtrip.node", category="strategy",
+                                 node=step.node_id,
+                                 kernel=step.kernel.name):
+                    arg_buffers = []
+                    for input_id, nbytes in zip(step.inputs,
+                                                step.input_nbytes):
+                        if dry:
+                            buf = env.upload_shape(nbytes, input_id)
+                        else:
+                            buf = env.upload(values[input_id], input_id)
+                        live.append(buf)
+                        arg_buffers.append(buf)
+                    out_buf = env.create_buffer(step.out_nbytes,
+                                                step.node_id)
+                    live.append(out_buf)
 
-                env.queue.enqueue_kernel(step.kernel, arg_buffers, out_buf,
-                                         step.cost)
-                result = env.queue.enqueue_read_buffer(out_buf)
-                if result is not None and step.is_vector:
-                    result = result.reshape(self.n, -1)
-                values[step.node_id] = result
-                if step.node_id == self.output_id:
-                    output = result
+                    env.queue.enqueue_kernel(step.kernel, arg_buffers,
+                                             out_buf, step.cost)
+                    result = env.queue.enqueue_read_buffer(out_buf)
+                    if result is not None and step.is_vector:
+                        result = result.reshape(self.n, -1)
+                    values[step.node_id] = result
+                    if step.node_id == self.output_id:
+                        output = result
 
-                for buf in arg_buffers:
-                    buf.release()
-                out_buf.release()
+                    for buf in arg_buffers:
+                        buf.release()
+                    out_buf.release()
         finally:
             # A mid-run failure (OOM, validation) must not leak device
             # bytes from the allocator; release is idempotent.

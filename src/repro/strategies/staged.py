@@ -104,38 +104,50 @@ class StagedPlan(ExecutablePlan):
             else:
                 buffers[source_id] = env.upload(binding.data, source_id)
 
+        tracer = env.tracer
         try:
             # -- materialize constants with fill kernels ---------------------
-            for fill in self.fills:
-                buf = env.create_buffer(self.const_nbytes, fill.node_id)
-                env.queue.enqueue_kernel(fill.kernel, [fill.value], buf,
-                                         fill.cost)
-                buffers[fill.node_id] = buf
+            if self.fills:
+                with tracer.span("staged.fills", category="strategy",
+                                 fills=len(self.fills)):
+                    for fill in self.fills:
+                        buf = env.create_buffer(self.const_nbytes,
+                                                fill.node_id)
+                        env.queue.enqueue_kernel(fill.kernel, [fill.value],
+                                                 buf, fill.cost)
+                        buffers[fill.node_id] = buf
 
             # -- execute filters in dependency order --------------------------
             for step in self.steps:
-                for source_id in step.uploads:
-                    upload(source_id)
-                kernel_args: list[object] = [buffers[i]
-                                             for i in step.arg_ids]
-                if step.by_value is not None:
-                    # The component travels by value, not as a buffer.
-                    kernel_args.append(step.by_value)
-                out_buf = env.create_buffer(step.out_nbytes, step.node_id)
-                env.queue.enqueue_kernel(step.kernel, kernel_args, out_buf,
-                                         step.cost)
-                buffers[step.node_id] = out_buf
-                if not dry and step.reshape and out_buf.data is not None:
-                    out_buf.data = out_buf.data.reshape(self.n, -1)
-                for node_id in step.releases:
-                    buffers[node_id].release()
+                with tracer.span("staged.node", category="strategy",
+                                 node=step.node_id,
+                                 kernel=step.kernel.name):
+                    for source_id in step.uploads:
+                        upload(source_id)
+                    kernel_args: list[object] = [buffers[i]
+                                                 for i in step.arg_ids]
+                    if step.by_value is not None:
+                        # The component travels by value, not as a buffer.
+                        kernel_args.append(step.by_value)
+                    out_buf = env.create_buffer(step.out_nbytes,
+                                                step.node_id)
+                    env.queue.enqueue_kernel(step.kernel, kernel_args,
+                                             out_buf, step.cost)
+                    buffers[step.node_id] = out_buf
+                    if not dry and step.reshape \
+                            and out_buf.data is not None:
+                        out_buf.data = out_buf.data.reshape(self.n, -1)
+                    for node_id in step.releases:
+                        buffers[node_id].release()
 
             # -- read back only the final result ------------------------------
-            if self.upload_output_source is not None:
-                upload(self.upload_output_source)  # degenerate `a = u`
-            result = env.queue.enqueue_read_buffer(buffers[self.output_id])
-            for node_id in self.final_releases:
-                buffers[node_id].release()
+            with tracer.span("staged.readback", category="strategy"):
+                if self.upload_output_source is not None:
+                    upload(self.upload_output_source)  # degenerate `a = u`
+                result = env.queue.enqueue_read_buffer(
+                    buffers[self.output_id])
+                for node_id in self.final_releases:
+                    buffers[node_id].release()
         finally:
             # Mid-run failures must not leak allocator bytes (release is
             # idempotent, so the normal eager releases are unaffected).

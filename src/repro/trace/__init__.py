@@ -1,0 +1,23 @@
+"""`repro.trace`: end-to-end tracing & profiling (DESIGN.md §8).
+
+* :class:`Tracer` / :class:`Span` — thread-safe span tree over a
+  monotonic clock, with counters and device-event bridging;
+* :class:`NullTracer` / :data:`NULL_TRACER` — the zero-overhead default
+  every layer holds when tracing is off;
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — Chrome
+  trace-event JSON export (one pid per simulated device, one tid per
+  worker/strategy lane, counter tracks for queue depth and pooled bytes);
+* :func:`format_profile` — per-phase self/total text table plus the
+  modeled device-lane summary.
+"""
+
+from .chrome import chrome_trace_events, write_chrome_trace
+from .profile import aggregate_profile, format_profile
+from .tracer import (CounterSample, DeviceSpan, NULL_TRACER, NullTracer,
+                     Span, Tracer)
+
+__all__ = [
+    "CounterSample", "DeviceSpan", "NULL_TRACER", "NullTracer", "Span",
+    "Tracer", "aggregate_profile", "chrome_trace_events", "format_profile",
+    "write_chrome_trace",
+]

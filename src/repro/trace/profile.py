@@ -1,0 +1,112 @@
+"""Human-readable text profile of a trace: per-phase self/total times.
+
+``chrome://tracing`` answers "what happened when"; this module answers the
+terminal question "where did the time go".  Spans aggregate by their
+*path* — the chain of span names from the root — so the same phase name
+under different parents (e.g. ``plan.build`` under two strategies) stays
+distinct.  For every path the table reports call count, total (inclusive)
+time, self time (total minus child totals), and share of the traced
+wall-clock.  A second section totals the bridged device lanes: modeled
+seconds and bytes per device per event category — the Fig 5 / Table II
+attribution for exactly the traced run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .tracer import Span, Tracer
+
+__all__ = ["aggregate_profile", "format_profile"]
+
+
+class _PathStats:
+    __slots__ = ("path", "count", "total", "self_time")
+
+    def __init__(self, path: tuple[str, ...]):
+        self.path = path
+        self.count = 0
+        self.total = 0.0
+        self.self_time = 0.0
+
+
+def aggregate_profile(tracer: Tracer) -> "list[_PathStats]":
+    """Aggregate finished spans by root→leaf name path, depth-first in
+    descending total-time order."""
+    spans = tracer.spans
+    by_id: dict[int, Span] = {s.span_id: s for s in spans}
+    children_time: dict[int, float] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            children_time[span.parent_id] = (
+                children_time.get(span.parent_id, 0.0) + span.duration)
+
+    def path_of(span: Span) -> tuple[str, ...]:
+        names: list[str] = []
+        node: Optional[Span] = span
+        seen = set()
+        while node is not None and node.span_id not in seen:
+            seen.add(node.span_id)
+            names.append(node.name)
+            node = by_id.get(node.parent_id) \
+                if node.parent_id is not None else None
+        return tuple(reversed(names))
+
+    stats: dict[tuple[str, ...], _PathStats] = {}
+    for span in spans:
+        path = path_of(span)
+        entry = stats.get(path)
+        if entry is None:
+            entry = stats[path] = _PathStats(path)
+        entry.count += 1
+        entry.total += span.duration
+        entry.self_time += max(
+            span.duration - children_time.get(span.span_id, 0.0), 0.0)
+
+    # Depth-first ordering: parents before children, siblings by total.
+    ordered: list[_PathStats] = []
+
+    def emit(prefix: tuple[str, ...]) -> None:
+        level = [s for s in stats.values()
+                 if s.path[:-1] == prefix and len(s.path) == len(prefix) + 1]
+        for entry in sorted(level, key=lambda s: -s.total):
+            ordered.append(entry)
+            emit(entry.path)
+
+    emit(())
+    return ordered
+
+
+def format_profile(tracer: Tracer) -> str:
+    """Render the per-phase table plus the device-lane summary."""
+    rows = aggregate_profile(tracer)
+    lines = ["phase                                     calls"
+             "   total(ms)    self(ms)   %total"]
+    traced = sum(r.total for r in rows if len(r.path) == 1) or 1e-12
+    if not rows:
+        lines.append("  (no spans recorded)")
+    for entry in rows:
+        indent = "  " * (len(entry.path) - 1)
+        name = indent + entry.path[-1]
+        lines.append(f"{name:<40} {entry.count:6d}  {entry.total * 1e3:10.3f}"
+                     f"  {entry.self_time * 1e3:10.3f}"
+                     f"  {100.0 * entry.total / traced:6.1f}%")
+
+    device_spans = tracer.device_spans
+    if device_spans:
+        lines.append("")
+        lines.append("device lanes (modeled)                   events"
+                     "  modeled(ms)       bytes")
+        agg: dict[tuple[str, str], list] = {}
+        for dspan in device_spans:
+            entry = agg.setdefault((dspan.device, dspan.category),
+                                   [0, 0.0, 0])
+            entry[0] += 1
+            entry[1] += dspan.duration
+            entry[2] += dspan.nbytes
+        for (device, category), (count, seconds, nbytes) in sorted(
+                agg.items()):
+            label = f"{device} / {category}"
+            lines.append(f"{label:<40} {count:6d}  {seconds * 1e3:11.3f}"
+                         f"  {nbytes:10d}")
+    return "\n".join(lines)

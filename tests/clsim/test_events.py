@@ -1,0 +1,92 @@
+"""Tests for the event layer: queue-timeline stamping and per-strategy
+event categorization on the paper's q_criterion workload."""
+
+import pytest
+
+from repro.analysis import vortex
+from repro.clsim import CLEnvironment
+from repro.clsim.events import Event, EventCounts, EventKind, EventLog
+from repro.dataflow import Network
+from repro.expr import eliminate_common_subexpressions, lower, parse
+from repro.strategies import get_strategy
+
+# Table II, q_criterion row: (Dev-W, Dev-R, K-Exe) per strategy.
+Q_CRITERION_COUNTS = {
+    "roundtrip": (123, 57, 57),
+    "staged": (7, 1, 67),
+    "fusion": (7, 1, 1),
+}
+
+
+def q_criterion_log(strategy, fields):
+    spec, _ = lower(parse(vortex.EXPRESSIONS["q_criterion"]))
+    net = Network(eliminate_common_subexpressions(spec))
+    bindings = {k: fields[k] for k in net.live_sources()}
+    env = CLEnvironment("cpu")
+    report = get_strategy(strategy).execute(net, bindings, env)
+    return env.queue.log, report
+
+
+class TestTimestampStamping:
+    def test_record_stamps_queue_cursor(self):
+        log = EventLog()
+        log.record(Event(EventKind.DEV_WRITE, "u", 64, 1e-4))
+        log.record(Event(EventKind.KERNEL, "k", 64, 2e-4))
+        log.record(Event(EventKind.DEV_READ, "out", 64, 1e-4))
+        stamps = [e.ts_seconds for e in log.events]
+        assert stamps == pytest.approx([0.0, 1e-4, 3e-4])
+
+    def test_events_laid_back_to_back(self):
+        """In-order queue: each event starts where its predecessor ended."""
+        log = EventLog()
+        for seconds in (1e-4, 5e-5, 2e-4):
+            log.record(Event(EventKind.KERNEL, "k", 0, seconds))
+        for prev, event in zip(log.events, log.events[1:]):
+            assert event.ts_seconds == pytest.approx(
+                prev.ts_seconds + prev.sim_seconds)
+
+    def test_prestamped_event_preserved_and_advances_cursor(self):
+        log = EventLog()
+        log.record(Event(EventKind.KERNEL, "k", 0, 1e-4, ts_seconds=0.5))
+        assert log.events[0].ts_seconds == 0.5
+        assert log.cursor == pytest.approx(0.5 + 1e-4)
+
+    def test_clear_resets_cursor(self):
+        log = EventLog()
+        log.record(Event(EventKind.KERNEL, "k", 0, 1e-4))
+        log.clear()
+        assert log.cursor == 0.0
+        log.record(Event(EventKind.KERNEL, "k", 0, 1e-4))
+        assert log.events[0].ts_seconds == 0.0
+
+    @pytest.mark.parametrize("strategy", sorted(Q_CRITERION_COUNTS))
+    def test_timestamps_monotonic_per_queue(self, strategy, small_fields):
+        log, _ = q_criterion_log(strategy, small_fields)
+        stamps = [e.ts_seconds for e in log.events]
+        assert all(s is not None for s in stamps)
+        assert stamps == sorted(stamps)
+
+    @pytest.mark.parametrize("strategy", sorted(Q_CRITERION_COUNTS))
+    def test_chrome_trace_uses_stamped_offsets(self, strategy,
+                                               small_fields):
+        log, _ = q_criterion_log(strategy, small_fields)
+        trace = log.to_chrome_trace()
+        assert len(trace) == len(log.events)
+        for entry, event in zip(trace, log.events):
+            assert entry["ts"] == pytest.approx(event.ts_seconds * 1e6)
+            assert entry["dur"] == pytest.approx(event.sim_seconds * 1e6)
+
+
+class TestCategorization:
+    @pytest.mark.parametrize("strategy", sorted(Q_CRITERION_COUNTS))
+    def test_q_criterion_counts_match_table2(self, strategy, small_fields):
+        log, report = q_criterion_log(strategy, small_fields)
+        expected = EventCounts(*Q_CRITERION_COUNTS[strategy])
+        assert log.counts() == expected
+        assert report.counts == expected          # report mirrors the log
+
+    @pytest.mark.parametrize("strategy", sorted(Q_CRITERION_COUNTS))
+    def test_per_kind_counts_sum_to_log(self, strategy, small_fields):
+        log, _ = q_criterion_log(strategy, small_fields)
+        by_kind = sum(log.count(kind) for kind in EventKind)
+        assert by_kind == len(log.events)

@@ -3,11 +3,17 @@
 from repro.analysis.vortex import VORTICITY_MAGNITUDE
 from repro.dataflow import render_dot
 from repro.expr import eliminate_common_subexpressions, lower, parse
+from repro.trace import DeviceSpan
 
 
 def spec_for(text):
     spec, _ = lower(parse(text))
     return eliminate_common_subexpressions(spec)
+
+
+def kernel_span(name, seconds):
+    return DeviceSpan(device="dev", lane="t/kernel", name=name,
+                      category="kernel", start=0.0, duration=seconds)
 
 
 class TestRenderDot:
@@ -46,3 +52,52 @@ class TestRenderDot:
     def test_graph_name_escaped(self):
         dot = render_dot(spec_for("a = u"), graph_name='we"ird')
         assert 'digraph "we\\"ird"' in dot
+
+
+class TestTraceAnnotation:
+    def test_no_trace_no_timings(self):
+        assert "ms" not in render_dot(spec_for("a = u * v"))
+
+    def test_filter_annotated_with_kernel_time(self):
+        spans = [kernel_span("k_mult_bb", 0.002)]
+        dot = render_dot(spec_for("a = u * v"), trace=spans)
+        assert "mult\\na\\n2.000 ms" in dot
+
+    def test_multiple_launches_aggregate_with_count(self):
+        spans = [kernel_span("k_mult_bb", 0.001),
+                 kernel_span("k_mult_bb", 0.003)]
+        dot = render_dot(spec_for("a = u * v"), trace=spans)
+        assert "mult\\na\\n4.000 ms (2 launches)" in dot
+
+    def test_unmatched_kernels_ignored(self):
+        spans = [kernel_span("k_multiply_bb", 0.002)]   # not k_mult/k_mult_*
+        dot = render_dot(spec_for("a = u * v"), trace=spans)
+        assert "ms" not in dot
+
+    def test_transfer_spans_ignored(self):
+        spans = [DeviceSpan(device="dev", lane="t/dev-write", name="u",
+                            category="dev-write", start=0.0, duration=1.0)]
+        assert "ms" not in render_dot(spec_for("a = u * v"), trace=spans)
+
+    def test_fused_kernels_reported_on_graph_label(self):
+        spans = [kernel_span("k_fused_s0", 0.005)]
+        dot = render_dot(spec_for("a = u * v"), trace=spans)
+        assert 'label="fused kernels: k_fused_s0: 5.000 ms"' in dot
+        assert "labelloc=b;" in dot
+
+    def test_annotated_from_real_traced_run(self, small_fields):
+        """End to end: trace a roundtrip execution, feed the tracer to
+        render_dot, and the hot filter boxes carry timings."""
+        from repro.host.engine import DerivedFieldEngine
+        from repro.trace import Tracer
+
+        tracer = Tracer()
+        engine = DerivedFieldEngine(device="cpu", strategy="roundtrip",
+                                    tracer=tracer)
+        compiled = engine.compile(VORTICITY_MAGNITUDE)
+        inputs = {k: small_fields[k] for k in compiled.required_inputs}
+        engine.execute(compiled, inputs)
+        dot = render_dot(compiled.network.spec, trace=tracer)
+        assert "ms" in dot
+        assert dot.count("{") == dot.count("}")
+        assert dot.count('"') % 2 == 0

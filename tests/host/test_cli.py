@@ -97,7 +97,20 @@ class TestTrace:
         target = tmp_path / "trace.json"
         assert main(["derive", "velocity_magnitude", "--grid", "4x4x4",
                      "--trace", str(target)]) == 0
-        trace = json.loads(target.read_text())
-        assert len(trace) == 5  # 3 writes + 1 kernel + 1 read (fusion)
-        assert {t["cat"] for t in trace} == {"dev-write", "kernel",
-                                             "dev-read"}
+        events = json.loads(target.read_text())["traceEvents"]
+        device = [e for e in events if e["ph"] == "X" and e["pid"] > 1]
+        by_cat = {}
+        for e in device:
+            by_cat[e["cat"]] = by_cat.get(e["cat"], 0) + 1
+        # 3 writes + 1 kernel + 1 read (fusion, Table II).
+        assert by_cat == {"dev-write": 3, "kernel": 1, "dev-read": 1}
+        host = {e["name"] for e in events
+                if e["ph"] == "X" and e["pid"] == 1}
+        assert {"engine.compile", "engine.execute", "plan.launch"} <= host
+
+    def test_profile_prints_phase_table(self, tmp_path, capsys):
+        assert main(["derive", "velocity_magnitude", "--grid", "4x4x4",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.execute" in out
+        assert "device lanes (modeled)" in out

@@ -3,6 +3,7 @@ that span modules: CSE semantics, chunking reassembly, MPI collectives,
 timing/memory accounting, and the trace export."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -136,9 +137,12 @@ def test_chrome_trace_is_gapless_and_ordered(entries):
         log.record(Event(kind, "e", nbytes, seconds))
     trace = log.to_chrome_trace()
     assert len(trace) == len(entries)
+    # Gapless in-order queue: each event starts where its predecessor
+    # ended.  Offsets are stamped in seconds and exported in µs, so the
+    # comparison is exact up to that unit conversion's rounding.
     cursor = 0.0
     for item in trace:
-        assert item["ts"] == cursor
-        cursor += item["dur"]
-    assert cursor == np.float64(log.sim_time() * 1e6) or \
-        abs(cursor - log.sim_time() * 1e6) < 1e-6 * max(1.0, cursor)
+        assert item["ts"] == pytest.approx(cursor, rel=1e-9, abs=1e-6)
+        cursor = item["ts"] + item["dur"]
+    total = log.sim_time() * 1e6
+    assert cursor == pytest.approx(total, rel=1e-9, abs=1e-6)

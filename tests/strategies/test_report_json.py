@@ -1,0 +1,67 @@
+"""Tests for the ExecutionReport JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.analysis import vortex
+from repro.host.engine import DerivedFieldEngine
+from repro.strategies.base import ExecutionReport
+
+
+@pytest.fixture(scope="module")
+def warm_report(small_fields_module):
+    engine = DerivedFieldEngine(device="cpu", strategy="fusion")
+    compiled = engine.compile(vortex.EXPRESSIONS["q_criterion"])
+    inputs = {k: small_fields_module[k] for k in compiled.required_inputs}
+    engine.execute(compiled, inputs)            # cold: fills the plan cache
+    return engine.execute(compiled, inputs)     # warm: cache/alloc filled
+
+
+@pytest.fixture(scope="module")
+def small_fields_module():
+    from repro.workloads import SubGrid, make_fields
+    return make_fields(SubGrid(6, 7, 8), seed=7)
+
+
+class TestReportJsonRoundTrip:
+    def test_to_json_is_json_dumpable(self, warm_report):
+        text = json.dumps(warm_report.to_json())
+        assert json.loads(text)["strategy"] == "fusion"
+
+    def test_round_trip_preserves_everything_but_output(self, warm_report):
+        restored = ExecutionReport.from_json(
+            json.loads(json.dumps(warm_report.to_json())))
+        assert restored.strategy == warm_report.strategy
+        assert restored.counts == warm_report.counts
+        assert restored.timing == warm_report.timing
+        assert restored.mem_high_water == warm_report.mem_high_water
+        assert restored.generated_sources == warm_report.generated_sources
+        assert restored.cache == warm_report.cache
+        assert restored.alloc == warm_report.alloc
+        assert restored.device_reports == warm_report.device_reports
+
+    def test_output_serialized_as_shape_dtype_only(self, warm_report):
+        data = warm_report.to_json()
+        assert data["output"] == {
+            "shape": list(warm_report.output.shape),
+            "dtype": str(warm_report.output.dtype)}
+        assert ExecutionReport.from_json(data).output is None
+
+    def test_round_trip_is_stable(self, warm_report):
+        """to_json(from_json(x)) == x, minus the unserializable array."""
+        once = warm_report.to_json()
+        twice = ExecutionReport.from_json(once).to_json()
+        once["output"] = None
+        assert twice == once
+
+    def test_multi_device_reports_round_trip(self, small_fields_module):
+        engine = DerivedFieldEngine(device="cpu", strategy="multi-device")
+        compiled = engine.compile(vortex.EXPRESSIONS["velocity_magnitude"])
+        inputs = {k: small_fields_module[k]
+                  for k in compiled.required_inputs}
+        report = engine.execute(compiled, inputs)
+        assert report.device_reports           # strategy is multi-device
+        restored = ExecutionReport.from_json(
+            json.loads(json.dumps(report.to_json())))
+        assert restored.device_reports == report.device_reports

@@ -1,0 +1,99 @@
+"""Tests for the Chrome trace-event exporter."""
+
+import json
+
+from repro.clsim.events import Event, EventKind
+from repro.trace import Tracer, chrome_trace_events, write_chrome_trace
+
+
+def traced_run():
+    """A small deterministic trace: host spans on a fake clock, one device
+    lane, one counter."""
+    ticks = iter(x * 0.001 for x in range(100))
+    tracer = Tracer(clock=lambda: next(ticks))
+    with tracer.span("engine.execute", category="engine") as root:
+        with tracer.span("plan.launch", category="engine"):
+            pass
+        tracer.counter("queue_depth", 2)
+    events = [
+        Event(EventKind.DEV_WRITE, "u", 64, 1e-4, ts_seconds=0.0),
+        Event(EventKind.KERNEL, "k_add", 64, 2e-4, ts_seconds=1e-4),
+        Event(EventKind.DEV_READ, "out", 64, 1e-4, ts_seconds=3e-4),
+    ]
+    tracer.add_device_events("Test GPU", events, anchor=0.002,
+                             lane="MainThread", trace_id=root.trace_id)
+    return tracer, root
+
+
+class TestChromeExport:
+    def test_event_shapes(self):
+        tracer, _ = traced_run()
+        for event in chrome_trace_events(tracer):
+            assert set(event) >= {"name", "ph", "ts", "pid", "tid"}
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+            assert event["ts"] >= 0.0
+
+    def test_metadata_first_then_sorted_ts(self):
+        tracer, _ = traced_run()
+        events = chrome_trace_events(tracer)
+        phs = [e["ph"] for e in events]
+        first_data = phs.index(next(p for p in phs if p != "M"))
+        assert all(p == "M" for p in phs[:first_data])
+        data = events[first_data:]
+        assert all(data[i]["ts"] <= data[i + 1]["ts"]
+                   for i in range(len(data) - 1))
+
+    def test_host_and_device_pids_separate(self):
+        tracer, _ = traced_run()
+        events = chrome_trace_events(tracer)
+        host = [e for e in events if e["ph"] == "X" and e["pid"] == 1]
+        device = [e for e in events if e["ph"] == "X" and e["pid"] == 2]
+        assert {e["name"] for e in host} == {"engine.execute", "plan.launch"}
+        assert {e["name"] for e in device} == {"u", "k_add", "out"}
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names == {"host", "device: Test GPU"}
+
+    def test_one_tid_per_category_lane(self):
+        tracer, _ = traced_run()
+        events = chrome_trace_events(tracer)
+        lanes = {e["args"]["name"]: (e["pid"], e["tid"]) for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"
+                 and e["pid"] == 2}
+        assert set(lanes) == {"MainThread/dev-write", "MainThread/kernel",
+                              "MainThread/dev-read"}
+        assert len({tid for _, tid in lanes.values()}) == 3
+
+    def test_trace_id_joins_host_and_device_events(self):
+        tracer, root = traced_run()
+        events = chrome_trace_events(tracer)
+        ids = {e["args"].get("trace_id") for e in events if e["ph"] == "X"}
+        assert ids == {root.trace_id}
+
+    def test_counter_event(self):
+        tracer, _ = traced_run()
+        counters = [e for e in chrome_trace_events(tracer)
+                    if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["name"] == "queue_depth"
+        assert counters[0]["args"] == {"value": 2.0}
+
+    def test_write_round_trips_json(self, tmp_path):
+        tracer, _ = traced_run()
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(tracer, path)
+        data = json.loads(path.read_text())
+        assert set(data) == {"traceEvents", "displayTimeUnit"}
+        assert len(data["traceEvents"]) == count
+        assert count == len(chrome_trace_events(tracer))
+
+    def test_empty_tracer_exports_host_meta_only(self):
+        events = chrome_trace_events(Tracer())
+        assert [e["ph"] for e in events] == ["M"]
+
+    def test_nonjson_attrs_coerced(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s", weird=object()):
+            pass
+        write_chrome_trace(tracer, tmp_path / "t.json")   # must not raise

@@ -1,0 +1,80 @@
+"""Tests for the text-profile exporter (self/total aggregation)."""
+
+import pytest
+
+from repro.clsim.events import Event, EventKind
+from repro.trace import Tracer, aggregate_profile, format_profile
+
+
+def fake_clock(ticks):
+    it = iter(ticks)
+    return lambda: next(it)
+
+
+class TestAggregateProfile:
+    def test_self_time_excludes_children(self):
+        # root: 0 -> 10; child: 1 -> 4 (3s) — child finishes first.
+        tracer = Tracer(clock=fake_clock([0.0, 0.0, 1.0, 4.0, 10.0]))
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        stats = {s.path: s for s in aggregate_profile(tracer)}
+        assert stats[("root",)].total == pytest.approx(10.0)
+        assert stats[("root",)].self_time == pytest.approx(7.0)
+        assert stats[("root", "child")].self_time == pytest.approx(3.0)
+
+    def test_same_name_under_different_parents_stays_distinct(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("step"):
+                pass
+        with tracer.span("b"):
+            with tracer.span("step"):
+                pass
+        paths = {s.path for s in aggregate_profile(tracer)}
+        assert ("a", "step") in paths
+        assert ("b", "step") in paths
+
+    def test_repeat_calls_aggregate(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("phase"):
+                pass
+        (entry,) = aggregate_profile(tracer)
+        assert entry.count == 3
+
+    def test_depth_first_parent_before_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        paths = [s.path for s in aggregate_profile(tracer)]
+        assert paths.index(("outer",)) < paths.index(("outer", "inner"))
+
+
+class TestFormatProfile:
+    def test_empty(self):
+        assert "(no spans recorded)" in format_profile(Tracer())
+
+    def test_table_lists_phases_indented(self):
+        tracer = Tracer()
+        with tracer.span("engine.execute"):
+            with tracer.span("plan.launch"):
+                pass
+        text = format_profile(tracer)
+        assert "engine.execute" in text
+        assert "  plan.launch" in text
+        assert "%total" in text
+
+    def test_device_lane_summary(self):
+        tracer = Tracer()
+        events = [
+            Event(EventKind.KERNEL, "k_a", 100, 1e-3, ts_seconds=0.0),
+            Event(EventKind.KERNEL, "k_b", 100, 2e-3, ts_seconds=1e-3),
+            Event(EventKind.DEV_READ, "out", 400, 1e-3, ts_seconds=3e-3),
+        ]
+        tracer.add_device_events("dev0", events, anchor=0.0)
+        text = format_profile(tracer)
+        assert "device lanes (modeled)" in text
+        assert "dev0 / kernel" in text
+        assert "dev0 / dev-read" in text

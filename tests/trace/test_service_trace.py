@@ -1,0 +1,153 @@
+"""End-to-end tracing acceptance: engine phases, device lanes that match
+the execution report, and trace ids surfaced through the service."""
+
+import pytest
+
+from repro.analysis.vortex import EXPRESSIONS
+from repro.host.engine import DerivedFieldEngine
+from repro.service import DerivedFieldService
+from repro.trace import Tracer, chrome_trace_events
+from repro.workloads import SubGrid, make_fields
+
+GRID = SubGrid(8, 8, 8)
+
+
+@pytest.fixture(scope="module")
+def fields():
+    return make_fields(GRID, seed=0)
+
+
+def inputs_for(engine, text, fields):
+    compiled = engine.compile(text)
+    return compiled, {k: fields[k] for k in compiled.required_inputs}
+
+
+class TestEngineTracing:
+    def test_compile_and_execute_phases_recorded(self, fields):
+        tracer = Tracer()
+        engine = DerivedFieldEngine(device="cpu", strategy="fusion",
+                                    tracer=tracer)
+        compiled, inputs = inputs_for(engine, EXPRESSIONS["q_criterion"],
+                                      fields)
+        engine.execute(compiled, inputs)
+        names = {s.name for s in tracer.spans}
+        assert {"engine.compile", "parse", "lower", "optimize",
+                "engine.execute", "plan.lookup", "plan.launch"} <= names
+
+    def test_device_lane_counts_match_report(self, fields):
+        tracer = Tracer()
+        engine = DerivedFieldEngine(device="cpu", strategy="fusion",
+                                    tracer=tracer)
+        compiled, inputs = inputs_for(engine, EXPRESSIONS["q_criterion"],
+                                      fields)
+        report = engine.execute(compiled, inputs)
+        by_cat = {}
+        for dspan in tracer.device_spans:
+            by_cat[dspan.category] = by_cat.get(dspan.category, 0) + 1
+        assert by_cat.get("kernel", 0) == report.counts.kernel_execs
+        assert by_cat.get("dev-write", 0) == report.counts.dev_writes
+        assert by_cat.get("dev-read", 0) == report.counts.dev_reads
+
+    def test_warm_execution_marks_cache_hit(self, fields):
+        tracer = Tracer()
+        engine = DerivedFieldEngine(device="cpu", strategy="fusion",
+                                    tracer=tracer)
+        compiled, inputs = inputs_for(engine, EXPRESSIONS["q_criterion"],
+                                      fields)
+        engine.execute(compiled, inputs)
+        engine.execute(compiled, inputs)
+        execs = [s for s in tracer.spans if s.name == "engine.execute"]
+        assert [s.attrs.get("cache_hit") for s in execs] == [False, True]
+
+    def test_pool_counters_sampled(self, fields):
+        tracer = Tracer()
+        engine = DerivedFieldEngine(device="cpu", strategy="fusion",
+                                    tracer=tracer)
+        compiled, inputs = inputs_for(engine, "a = u + v", fields)
+        engine.execute(compiled, inputs)
+        assert {"pooled_bytes", "live_bytes"} <= \
+            {c.name for c in tracer.counters}
+
+    def test_null_tracer_default_records_nothing(self, fields):
+        engine = DerivedFieldEngine(device="cpu", strategy="fusion")
+        compiled, inputs = inputs_for(engine, "a = u * v", fields)
+        report = engine.execute(compiled, inputs)
+        assert report.output is not None
+        assert engine.tracer.spans == ()
+        assert engine.tracer.enabled is False
+
+
+class TestServiceTracing:
+    def test_traced_request_end_to_end(self, fields):
+        """The acceptance criterion: one traced service request yields a
+        Chrome export with engine-phase spans and device lanes whose event
+        counts equal the run's report counters, and its trace id shows up
+        in the metrics snapshot."""
+        tracer = Tracer()
+        with DerivedFieldService(devices=("cpu",), strategy="fusion",
+                                 tracer=tracer) as service:
+            request = service.submit(EXPRESSIONS["q_criterion"], fields)
+            report = request.result(timeout=30)
+            snapshot = service.snapshot()
+
+        assert request.trace_id
+        # 1. trace id surfaced in the metrics snapshot.
+        recent = snapshot["traces"]["recent"]
+        assert snapshot["traces"]["recorded"] == 1
+        assert [t["trace_id"] for t in recent] == [request.trace_id]
+        assert recent[0]["request"] == request.id
+        assert recent[0]["status"] == "served"
+
+        events = chrome_trace_events(tracer)
+        xs = [e for e in events if e["ph"] == "X"
+              and e["args"].get("trace_id") == request.trace_id]
+        assert xs, "no events joined to the request's trace id"
+        # 2. engine-phase spans present on the request's trace.
+        names = {e["name"] for e in xs}
+        assert {"request", "queue.wait", "worker.execute",
+                "engine.execute", "plan.launch"} <= names
+        # 3. device-lane counts equal the execution report's counters.
+        device = [e for e in xs if e["pid"] > 1]
+        counted = {}
+        for e in device:
+            counted[e["cat"]] = counted.get(e["cat"], 0) + 1
+        assert counted["kernel"] == report.counts.kernel_execs
+        assert counted["dev-write"] == report.counts.dev_writes
+        assert counted["dev-read"] == report.counts.dev_reads
+
+    def test_requests_get_distinct_trace_ids(self, fields):
+        tracer = Tracer()
+        with DerivedFieldService(devices=("cpu",), strategy="fusion",
+                                 tracer=tracer) as service:
+            first = service.submit("a = u + v", fields)
+            second = service.submit("a = u * w", fields)
+            first.result(timeout=30)
+            second.result(timeout=30)
+        assert first.trace_id and second.trace_id
+        assert first.trace_id != second.trace_id
+
+    def test_queue_depth_counter_sampled(self, fields):
+        tracer = Tracer()
+        with DerivedFieldService(devices=("cpu",), strategy="fusion",
+                                 tracer=tracer) as service:
+            service.execute("a = u + v", fields, timeout=30)
+        assert any(c.name == "queue_depth" for c in tracer.counters)
+
+    def test_untraced_service_snapshot_has_no_trace_records(self, fields):
+        with DerivedFieldService(devices=("cpu",), strategy="fusion") \
+                as service:
+            request = service.submit("a = u + v", fields)
+            request.result(timeout=30)
+            snapshot = service.snapshot()
+        assert request.trace_id is None
+        assert snapshot["traces"] == {"recorded": 0, "recent": []}
+
+    def test_request_root_span_finishes_with_status(self, fields):
+        tracer = Tracer()
+        with DerivedFieldService(devices=("cpu",), strategy="fusion",
+                                 tracer=tracer) as service:
+            service.execute("a = u + v", fields, timeout=30)
+        roots = [s for s in tracer.spans if s.name == "request"]
+        assert len(roots) == 1
+        assert roots[0].attrs["status"] == "served"
+        assert roots[0].end_time is not None
