@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Validate a ``derive --metrics`` JSON snapshot (CI metrics-smoke).
+
+Checks the structural contract of :meth:`MetricsRegistry.snapshot`
+and that a metered derive run actually populated the paper-facing
+families: naming (``repro_<subsystem>_<name>[_<unit>]``), per-family
+``type``/``help``/``samples`` keys, histogram sample completeness
+(``count``/``sum``/``buckets`` with a ``+Inf`` bucket equal to the
+count), and a minimum family set covering the allocator (Fig 6), the
+event layer (Table II), the plan cache, and the engine phases.
+
+Usage: ``python benchmarks/validate_metrics.py METRICS.json``
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^repro_[a-z0-9_]+$")
+TYPES = {"counter", "gauge", "histogram"}
+
+# One family per instrumented subsystem; a metered derive run must
+# have touched every one of these.
+REQUIRED_FAMILIES = {
+    "repro_clsim_allocated_bytes": "gauge",
+    "repro_clsim_peak_bytes": "gauge",
+    "repro_clsim_transfers_total": "counter",
+    "repro_clsim_transfer_bytes_total": "counter",
+    "repro_clsim_kernel_launches_total": "counter",
+    "repro_plancache_misses_total": "counter",
+    "repro_engine_execute_total": "counter",
+    "repro_engine_execute_duration_seconds": "histogram",
+}
+
+
+def validate(snapshot: dict) -> list[str]:
+    errors = []
+    if not isinstance(snapshot, dict) or not snapshot:
+        return ["snapshot is not a non-empty object"]
+    for name, family in snapshot.items():
+        where = f"family {name!r}"
+        if not NAME_RE.match(name):
+            errors.append(f"{where}: bad metric name")
+        for key in ("type", "help", "samples"):
+            if key not in family:
+                errors.append(f"{where}: missing {key!r}")
+        if family.get("type") not in TYPES:
+            errors.append(f"{where}: bad type {family.get('type')!r}")
+        if not family.get("help"):
+            errors.append(f"{where}: empty help text")
+        for i, sample in enumerate(family.get("samples", [])):
+            swhere = f"{where} sample {i}"
+            if "labels" not in sample:
+                errors.append(f"{swhere}: missing labels")
+            if family.get("type") == "histogram":
+                for key in ("count", "sum", "buckets"):
+                    if key not in sample:
+                        errors.append(f"{swhere}: missing {key!r}")
+                buckets = sample.get("buckets", {})
+                if buckets.get("+Inf") != sample.get("count"):
+                    errors.append(f"{swhere}: +Inf bucket != count")
+                running = list(buckets.values())
+                if running != sorted(running):
+                    errors.append(f"{swhere}: buckets not cumulative")
+            elif "value" not in sample:
+                errors.append(f"{swhere}: missing value")
+    for name, metric_type in REQUIRED_FAMILIES.items():
+        family = snapshot.get(name)
+        if family is None:
+            errors.append(f"required family {name!r} absent "
+                          f"(instrumentation not reached?)")
+        elif family.get("type") != metric_type:
+            errors.append(f"required family {name!r}: type "
+                          f"{family.get('type')!r}, want {metric_type!r}")
+        elif not family.get("samples"):
+            errors.append(f"required family {name!r} has no samples")
+    return errors
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    snapshot = json.loads(open(argv[0]).read())
+    errors = validate(snapshot)
+    if errors:
+        for line in errors:
+            print(f"INVALID: {line}", file=sys.stderr)
+        return 1
+    families = len(snapshot)
+    samples = sum(len(f.get("samples", [])) for f in snapshot.values())
+    print(f"{argv[0]}: valid ({families} families, {samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

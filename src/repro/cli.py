@@ -77,6 +77,10 @@ def cmd_derive(args) -> int:
     if args.profile:
         from .trace import format_profile
         print(format_profile(tracer))
+    if args.metrics:
+        from .metrics import get_registry, write_metrics_json
+        snapshot = write_metrics_json(args.metrics, get_registry())
+        print(f"wrote {len(snapshot)} metric families to {args.metrics}")
     out = report.output
     print(f"derived {compiled.result_name!r} over {grid.n_cells:,} cells "
           f"on {args.device} / {report.strategy}")
@@ -218,16 +222,35 @@ def cmd_serve(args) -> int:
         from .trace import Tracer
         tracer = Tracer()
 
+    metrics_server = None
+    metrics_registry = None
+    if args.metrics_port is not None:
+        from .metrics import MetricsServer, get_registry
+        # Re-base the service's metrics on the process registry so one
+        # endpoint exposes service + engine + clsim families together.
+        metrics_registry = get_registry()
+        metrics_server = MetricsServer(metrics_registry,
+                                       port=args.metrics_port).start()
+        print(f"metrics on {metrics_server.url('/metrics')} "
+              f"(Prometheus text) and "
+              f"{metrics_server.url('/metrics.json')}")
+
     print(f"serving {sorted({c.name for c in cases})} over "
           f"{grid.n_cells:,} cells on devices {devices} "
           f"({args.strategy}), queue depth {args.queue_depth}")
-    with DerivedFieldService(devices=devices, strategy=args.strategy,
-                             queue_depth=args.queue_depth,
-                             default_timeout=args.timeout,
-                             tracer=tracer) as service:
-        report = run_load(service, cases, clients=args.clients,
-                          requests=args.requests)
-        snapshot = service.snapshot()
+    try:
+        with DerivedFieldService(devices=devices, strategy=args.strategy,
+                                 queue_depth=args.queue_depth,
+                                 default_timeout=args.timeout,
+                                 tracer=tracer,
+                                 metrics_registry=metrics_registry,
+                                 ) as service:
+            report = run_load(service, cases, clients=args.clients,
+                              requests=args.requests)
+            snapshot = service.snapshot()
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
     print(format_load_report(report))
     if args.trace_dir:
         import os
@@ -277,6 +300,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print a per-phase self/total time profile of "
                         "this run")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="dump the metrics-registry JSON snapshot "
+                        "(allocator, event, plan-cache, engine-phase "
+                        "families) after the run")
     p.set_defaults(fn=cmd_derive)
 
     p = sub.add_parser("check",
@@ -328,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-dir", metavar="DIR", default=None,
                    help="trace the whole run and write DIR/trace.json "
                         "(Chrome trace events) and DIR/profile.txt")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   metavar="PORT",
+                   help="serve live /metrics (Prometheus text) and "
+                        "/metrics.json on this port for the duration "
+                        "of the run (0 picks an ephemeral port)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("plan",

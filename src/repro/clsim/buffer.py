@@ -30,6 +30,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import CLInvalidOperation, CLOutOfMemoryError
+from ..metrics import get_registry
 from .device import DeviceSpec
 
 __all__ = ["Buffer", "Allocator", "BufferPool", "AllocationStats"]
@@ -70,6 +71,28 @@ class Allocator:
         self.peak_bytes = 0
         self.total_allocations = 0
         self.reused_allocations = 0
+        # Registry mirror (DESIGN.md §9): per-device allocated-bytes and
+        # peak-bytes gauges plus a reservation counter.  Children are
+        # bound once here; per-device gauges reflect the most recently
+        # active allocator on that device label (one warm engine per
+        # device in every supported deployment).
+        registry = get_registry()
+        device_label = {"device": device.name}
+        self._m_allocated = registry.gauge(
+            "repro_clsim_allocated_bytes",
+            "Device global memory currently reserved for buffers",
+            ("device",)).labels(**device_label)
+        self._m_peak = registry.gauge(
+            "repro_clsim_peak_bytes",
+            "High-water mark of reserved device global memory since the "
+            "last instrumentation reset (the Fig 6 measure)",
+            ("device",)).labels(**device_label)
+        self._m_reservations = registry.counter(
+            "repro_clsim_allocations_total",
+            "Device buffer reservations served by the allocator",
+            ("device",)).labels(**device_label)
+        self._m_allocated.set(0)
+        self._m_peak.set(0)
 
     def reserve(self, nbytes: int, label: str = "") -> None:
         if nbytes < 0:
@@ -86,12 +109,16 @@ class Allocator:
         self.current_bytes += nbytes
         self.peak_bytes = max(self.peak_bytes, self.current_bytes)
         self.total_allocations += 1
+        self._m_allocated.set(self.current_bytes)
+        self._m_peak.set(self.peak_bytes)
+        self._m_reservations.inc()
 
     def release(self, nbytes: int) -> None:
         if nbytes > self.current_bytes:
             raise CLInvalidOperation(
                 f"releasing {nbytes} B but only {self.current_bytes} B in use")
         self.current_bytes -= nbytes
+        self._m_allocated.set(self.current_bytes)
 
     @property
     def available_bytes(self) -> int:
@@ -99,6 +126,7 @@ class Allocator:
 
     def reset_peak(self) -> None:
         self.peak_bytes = self.current_bytes
+        self._m_peak.set(self.peak_bytes)
 
     def stats(self, pool: "BufferPool | None" = None) -> AllocationStats:
         return AllocationStats(
@@ -153,6 +181,31 @@ class BufferPool:
         self.returns = 0
         self.pooled_bytes = 0
         self.bytes_reused = 0
+        # Registry mirror of the pool counters (hot on the warm path:
+        # one hit + one return per recycled buffer per run).
+        registry = get_registry()
+        device_label = {"device": allocator.device.name}
+        self._m_hits = registry.counter(
+            "repro_clsim_pool_hits_total",
+            "Buffer requests satisfied from the pool free list",
+            ("device",)).labels(**device_label)
+        self._m_misses = registry.counter(
+            "repro_clsim_pool_misses_total",
+            "Buffer requests that fell through to the allocator",
+            ("device",)).labels(**device_label)
+        self._m_returns = registry.counter(
+            "repro_clsim_pool_returns_total",
+            "Released buffers parked back into the pool",
+            ("device",)).labels(**device_label)
+        self._m_reused_bytes = registry.counter(
+            "repro_clsim_pool_reused_bytes_total",
+            "Reservation bytes recycled from the pool",
+            ("device",)).labels(**device_label)
+        self._m_pooled = registry.gauge(
+            "repro_clsim_pooled_bytes",
+            "Device memory currently parked in the pool free list",
+            ("device",)).labels(**device_label)
+        self._m_pooled.set(0)
 
     def capacity_for(self, nbytes: int) -> int:
         return size_class(nbytes)
@@ -168,10 +221,14 @@ class BufferPool:
                 self.hits += 1
                 self.bytes_reused += capacity
                 self.allocator.reused_allocations += 1
+                self._m_hits.inc()
+                self._m_reused_bytes.inc(capacity)
+                self._m_pooled.set(self.pooled_bytes)
                 return Buffer._adopt(self.allocator, nbytes,
                                      capacity=capacity, label=label,
                                      dry=dry, pool=self)
             self.misses += 1
+            self._m_misses.inc()
             return None
 
     def _park(self, capacity: int) -> None:
@@ -181,6 +238,8 @@ class BufferPool:
             self._free[capacity] = self._free.get(capacity, 0) + 1
             self.pooled_bytes += capacity
             self.returns += 1
+            self._m_returns.inc()
+            self._m_pooled.set(self.pooled_bytes)
 
     def trim(self) -> int:
         """Release every parked reservation back to the allocator; returns
@@ -193,6 +252,7 @@ class BufferPool:
                     freed += capacity
             self._free.clear()
             self.pooled_bytes = 0
+            self._m_pooled.set(0)
             return freed
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 __all__ = ["EventKind", "Event", "EventLog", "EventCounts"]
 
@@ -68,12 +68,19 @@ class EventLog:
 
     events: list[Event] = field(default_factory=list)
     cursor: float = 0.0
+    # Per-record hook: the command queue installs a registry observer
+    # here so every event — including direct records like dry-run
+    # ``upload_shape`` — lands in the process-wide transfer/kernel
+    # counters (DESIGN.md §9) no matter which call site produced it.
+    observer: Optional[Callable[[Event], None]] = None
 
     def record(self, event: Event) -> None:
         if event.ts_seconds is None:
             event = replace(event, ts_seconds=self.cursor)
         self.cursor = event.ts_seconds + event.sim_seconds
         self.events.append(event)
+        if self.observer is not None:
+            self.observer(event)
 
     def clear(self) -> None:
         self.events.clear()

@@ -22,6 +22,7 @@ event counts, and modeled timings are identical to a cold run's.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Mapping, Optional, Union
 
@@ -36,6 +37,7 @@ from ..errors import HostInterfaceError
 from ..expr.lower import lower
 from ..expr.optimize import eliminate_common_subexpressions
 from ..expr.parser import parse
+from ..metrics import get_registry
 from ..primitives.base import PrimitiveRegistry, ResultKind
 from ..strategies import ExecutionReport, ExecutionStrategy, get_strategy
 from ..strategies.bindings import ArraySpec, Binding, BindingInput
@@ -141,6 +143,37 @@ class DerivedFieldEngine:
         # executes warm runs one after another.  Service deployments get
         # real concurrency from one engine per device worker instead.
         self._exec_lock = threading.Lock()
+        # Registry mirror of the engine phases (DESIGN.md §9): call
+        # counters + duration histograms, with execution split by cache
+        # disposition.  Children are bound once; a warm execute touches
+        # exactly one counter and one histogram.
+        registry = get_registry()
+        self._m_compile_total = registry.counter(
+            "repro_engine_compile_total",
+            "Expressions compiled (parse+lower+optimize+validate; "
+            "expression-cache hits not included)")
+        self._m_compile_seconds = registry.histogram(
+            "repro_engine_compile_duration_seconds",
+            "Wall time of one expression compilation")
+        self._m_prepare_total = registry.counter(
+            "repro_engine_prepare_total",
+            "Requests prepared (validated, bound, sized, keyed)")
+        self._m_prepare_seconds = registry.histogram(
+            "repro_engine_prepare_duration_seconds",
+            "Wall time of one prepare")
+        execute_total = registry.counter(
+            "repro_engine_execute_total",
+            "Executions, by plan-cache disposition",
+            ("cache",))
+        execute_seconds = registry.histogram(
+            "repro_engine_execute_duration_seconds",
+            "Wall time of one execution, by plan-cache disposition",
+            ("cache",))
+        self._m_execute = {
+            disposition: (execute_total.labels(cache=disposition),
+                          execute_seconds.labels(cache=disposition))
+            for disposition in ("hit", "miss", "uncached")
+        }
 
     # -- compilation -----------------------------------------------------------
 
@@ -154,6 +187,7 @@ class DerivedFieldEngine:
         if compiled is not None:
             return compiled
         tracer = self.tracer
+        start = time.perf_counter()
         with tracer.span("engine.compile", category="engine",
                          expression=expression):
             with tracer.span("parse", category="engine"):
@@ -169,6 +203,8 @@ class DerivedFieldEngine:
             with tracer.span("validate", category="engine"):
                 network = Network(spec, registry=self.registry,
                                   source_kinds=source_kinds)
+        self._m_compile_total.inc()
+        self._m_compile_seconds.observe(time.perf_counter() - start)
         compiled = CompiledExpression(expression, program.result_name,
                                       network)
         self._cache[key] = compiled
@@ -201,6 +237,7 @@ class DerivedFieldEngine:
         safe to hand to another thread (or, re-keyed via
         ``key.for_device``, to a worker on a different device).
         """
+        start = time.perf_counter()
         with self.tracer.span("engine.prepare", category="engine"):
             compiled = (expression
                         if isinstance(expression, CompiledExpression)
@@ -221,6 +258,8 @@ class DerivedFieldEngine:
                 key, sources = plan_key(compiled.network, self.strategy,
                                         bindings, n, dtype,
                                         self.device_spec, self.backend)
+            self._m_prepare_total.inc()
+            self._m_prepare_seconds.observe(time.perf_counter() - start)
             return PreparedExecution(compiled=compiled, bindings=bindings,
                                      n=n, dtype=dtype, key=key,
                                      sources=sources)
@@ -229,6 +268,7 @@ class DerivedFieldEngine:
                          ) -> ExecutionReport:
         """Run a previously prepared request (see :meth:`prepare`)."""
         tracer = self.tracer
+        start = time.perf_counter()
         if prepared.key is None:
             with tracer.span("engine.execute", category="engine",
                              strategy=self.strategy.name,
@@ -241,6 +281,7 @@ class DerivedFieldEngine:
                         prepared.compiled.network, prepared.bindings, env)
                 report.alloc = env.alloc_stats()
                 self._trace_device_run(env, anchor)
+                self._observe_execute("uncached", start)
                 return report
 
         with self._exec_lock:
@@ -268,7 +309,13 @@ class DerivedFieldEngine:
                 report.alloc = env.alloc_stats()
                 exec_span.annotate(cache_hit=hit)
                 self._trace_device_run(env, anchor)
+                self._observe_execute("hit" if hit else "miss", start)
                 return report
+
+    def _observe_execute(self, disposition: str, start: float) -> None:
+        counter, histogram = self._m_execute[disposition]
+        counter.inc()
+        histogram.observe(time.perf_counter() - start)
 
     def _trace_device_run(self, env: CLEnvironment, anchor: float) -> None:
         """Bridge one run's device events into trace lanes and sample the

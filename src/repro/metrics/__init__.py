@@ -1,0 +1,26 @@
+"""`repro.metrics`: the unified metrics layer (DESIGN.md §9).
+
+* :class:`MetricsRegistry` / :func:`get_registry` / :func:`set_registry`
+  — the process-wide, thread-safe home of every metric family;
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` — the three
+  instrument types (labeled families, fixed exponential buckets);
+* :func:`render_prometheus` — text exposition for a Prometheus scrape;
+* :class:`MetricsServer` / :func:`write_metrics_json` — the stdlib HTTP
+  listener (``serve --metrics-port``) and the one-shot JSON dump
+  (``derive --metrics``);
+* :data:`NULL_REGISTRY` — the no-op twin (overhead baseline; install
+  with ``set_registry`` to switch the metric surface off).
+"""
+
+from .exporter import MetricsServer, write_metrics_json
+from .prometheus import CONTENT_TYPE, render_prometheus
+from .registry import (Counter, Gauge, Histogram, Metric, MetricsRegistry,
+                       NULL_REGISTRY, NullRegistry, exponential_buckets,
+                       get_registry, set_registry)
+
+__all__ = [
+    "CONTENT_TYPE", "Counter", "Gauge", "Histogram", "Metric",
+    "MetricsRegistry", "MetricsServer", "NULL_REGISTRY", "NullRegistry",
+    "exponential_buckets", "get_registry", "render_prometheus",
+    "set_registry", "write_metrics_json",
+]

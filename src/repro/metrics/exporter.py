@@ -1,0 +1,109 @@
+"""Live metrics exposition over HTTP, stdlib only.
+
+:class:`MetricsServer` wraps :class:`http.server.ThreadingHTTPServer`
+in a daemon thread and serves two read-only endpoints from a
+:class:`~repro.metrics.registry.MetricsRegistry`:
+
+* ``GET /metrics`` — Prometheus text exposition (scrape target);
+* ``GET /metrics.json`` — the JSON snapshot (``registry.snapshot()``).
+
+``python -m repro serve --metrics-port N`` runs one of these next to
+the derived-field service; ``port=0`` binds an ephemeral port (the
+bound port is on :attr:`MetricsServer.port`).  Rendering happens per
+request against live registry state — there is no caching and no
+write path, so the listener never perturbs the serving threads beyond
+the snapshot locks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .prometheus import CONTENT_TYPE, render_prometheus
+from .registry import MetricsRegistry, get_registry
+
+__all__ = ["MetricsServer", "write_metrics_json"]
+
+
+def write_metrics_json(path: str,
+                       registry: Optional[MetricsRegistry] = None) -> dict:
+    """Dump a registry snapshot to ``path`` (the ``derive --metrics``
+    one-shot exposition); returns the snapshot."""
+    registry = get_registry() if registry is None else registry
+    snapshot = registry.snapshot()
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2)
+        handle.write("\n")
+    return snapshot
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Installed per-server via the class attribute below.
+    registry: MetricsRegistry
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(self.registry).encode("utf-8")
+            content_type = CONTENT_TYPE
+        elif path == "/metrics.json":
+            body = (json.dumps(self.registry.snapshot(), indent=2) + "\n"
+                    ).encode("utf-8")
+            content_type = "application/json"
+        else:
+            self.send_error(404, "unknown path; try /metrics "
+                                 "or /metrics.json")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # silence per-request stderr
+        pass
+
+
+class MetricsServer:
+    """A background /metrics listener over one registry.
+
+    Use as a context manager or call :meth:`start` / :meth:`close`.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.registry = get_registry() if registry is None else registry
+        handler = type("BoundMetricsHandler", (_Handler,),
+                       {"registry": self.registry})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self.host = self._server.server_address[0]
+        self.port = self._server.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    def url(self, path: str = "/metrics") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-metrics-http", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,76 @@
+"""Prometheus text exposition (format version 0.0.4) of a registry.
+
+One function, :func:`render_prometheus`, turns a
+:class:`~repro.metrics.registry.MetricsRegistry` into the plain-text
+format a Prometheus server scrapes::
+
+    # HELP repro_clsim_peak_bytes Peak device global memory ...
+    # TYPE repro_clsim_peak_bytes gauge
+    repro_clsim_peak_bytes{device="GeForce GTX 460"} 1.234e+08
+
+Histograms expand into ``_bucket`` (cumulative, ``le``-labeled, ending
+at ``+Inf``), ``_sum``, and ``_count`` series, per the exposition spec.
+Label values are escaped (backslash, double quote, newline); HELP text
+escapes backslash and newline.  The test suite round-trips this text
+back into snapshot values, so the renderer is the contract.
+"""
+
+from __future__ import annotations
+
+from .registry import MetricsRegistry, bucket_label
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (text.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _format_value(value: float) -> str:
+    if value != value:                       # NaN never leaves a sample
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(labels: dict, extra: "tuple[str, str] | None" = None,
+                ) -> str:
+    pairs = [(k, v) for k, v in labels.items()]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(str(v))}"'
+                     for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The full text exposition of ``registry``, families name-sorted."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.TYPE}")
+        for labels, child in metric.samples():
+            if metric.TYPE == "histogram":
+                for bound, cumulative in child.cumulative():
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_label_text(labels, ('le', bucket_label(bound)))}"
+                        f" {cumulative}")
+                lines.append(f"{metric.name}_sum{_label_text(labels)} "
+                             f"{_format_value(child.sum)}")
+                lines.append(f"{metric.name}_count{_label_text(labels)} "
+                             f"{child.count}")
+            else:
+                lines.append(f"{metric.name}{_label_text(labels)} "
+                             f"{_format_value(child.value)}")
+    return "\n".join(lines) + "\n"

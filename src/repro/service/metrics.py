@@ -1,34 +1,47 @@
-"""Live service metrics: counters, gauges, histograms — snapshotable.
+"""Live service metrics, re-based on the unified registry.
 
-:class:`ServiceMetrics` is the single observable surface of a running
-:class:`~repro.service.DerivedFieldService`:
+:class:`ServiceMetrics` is the observable surface of a running
+:class:`~repro.service.DerivedFieldService`.  Since the metrics
+subsystem landed (DESIGN.md §9) it is a thin layer over
+:class:`~repro.metrics.MetricsRegistry` instruments:
 
-* **request counters** — submitted / served / rejected / timed-out /
-  failed / cancelled (every admitted request lands in exactly one
-  terminal counter: the zero-dropped-requests invariant is checkable
-  arithmetic);
-* **queue-depth gauge** — current and peak admission-queue depth;
-* **latency histograms** — per-expression submit→resolve latency with
-  p50/p95/p99 (nearest-rank over a bounded reservoir);
-* **plan-cache hit rate** — hits/lookups across all workers sharing the
-  service's plan cache;
-* **per-device utilization** — wall busy-seconds and modeled
-  device-seconds per worker, against service uptime.
+* **request counters** — ``repro_service_requests_submitted_total``
+  plus ``repro_service_requests_total{outcome=...}`` for every
+  terminal outcome (served / rejected / timed-out / failed /
+  cancelled).  The zero-dropped-requests invariant is explicit
+  arithmetic: ``offered == terminal + in_flight`` with
+  ``offered = submitted + rejected`` — :meth:`snapshot` computes
+  ``in_flight`` directly from that identity;
+* **queue-depth gauges** — current and peak admission-queue depth;
+* **latency** — a ``repro_service_request_latency_seconds``
+  histogram per expression, plus a bounded thinned reservoir for exact
+  nearest-rank p50/p95/p99 (buckets cannot give those precisely);
+* **plan-cache hit rate** and **per-device utilization** counters.
 
-Everything updates under one lock (updates are tiny compared to an
-execution) and :meth:`snapshot` returns plain dict/list/float data —
-``json.dumps(metrics.snapshot())`` always works.
+By default each service gets its own private registry, so
+:meth:`snapshot` always describes exactly this service instance.
+Passing ``registry=`` (typically :func:`repro.metrics.get_registry`)
+re-bases the instruments onto a shared registry instead, which is how
+``serve --metrics-port`` exposes service metrics next to the engine and
+``clsim`` families on one ``/metrics`` endpoint — note that shared
+counters are then cumulative across service instances in the process.
+
+The :meth:`snapshot` schema is unchanged from the pre-registry
+implementation: plain dict/list/float data, ``json.dumps`` always
+works.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from collections import deque
 from typing import Optional
 
-from .request import RequestStatus, ServiceRequest
+from ..metrics import MetricsRegistry
+from .request import RequestStatus, ServiceRequest, TERMINAL_STATUSES
 
 __all__ = ["LatencyStats", "ServiceMetrics", "percentile"]
 
@@ -40,13 +53,25 @@ MAX_TRACE_RECORDS = 64
 # long-running services stay bounded without losing the distribution.
 MAX_LATENCY_SAMPLES = 65536
 
+# Latency buckets: 100 µs .. ~100 s in half-decade steps.
+LATENCY_BUCKETS = tuple(1e-4 * math.sqrt(10) ** i for i in range(13))
+
 
 def percentile(sorted_samples: "list[float]", q: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted, non-empty list."""
+    """Ceil-based nearest-rank percentile of an ascending-sorted,
+    non-empty list.
+
+    The classic nearest-rank definition: the smallest value such that
+    at least ``q``% of the samples are <= it, i.e. the element at
+    1-based rank ``ceil(q/100 * N)``.  (The previous implementation
+    used ``round()``, whose banker's rounding biased even-length p50
+    low — ``round(0.5) == 0``.)
+    """
     if not sorted_samples:
         raise ValueError("percentile of no samples")
-    rank = round(q / 100.0 * (len(sorted_samples) - 1))
-    return sorted_samples[int(rank)]
+    rank = math.ceil(q / 100.0 * len(sorted_samples))
+    rank = min(max(rank, 1), len(sorted_samples))
+    return sorted_samples[rank - 1]
 
 
 class LatencyStats:
@@ -88,31 +113,70 @@ class LatencyStats:
         return out
 
 
-class _DeviceStats:
-    """Per-worker accounting (one device each)."""
+class _DeviceInstruments:
+    """The bound registry children for one device worker."""
 
-    def __init__(self):
-        self.served = 0
-        self.failed = 0
-        self.busy_seconds = 0.0          # wall time spent executing
-        self.modeled_seconds = 0.0       # simulated device time (Fig 5 axis)
+    def __init__(self, metrics: "ServiceMetrics", name: str):
+        label = {"device": name}
+        self.served = metrics._device_served.labels(**label)
+        self.failed = metrics._device_failed.labels(**label)
+        self.busy_seconds = metrics._device_busy.labels(**label)
+        self.modeled_seconds = metrics._device_modeled.labels(**label)
 
 
 class ServiceMetrics:
     """Thread-safe counters/gauges/histograms for one service instance."""
 
-    def __init__(self):
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
         self._lock = threading.Lock()
+        self.registry = MetricsRegistry() if registry is None else registry
         self.started_at = time.monotonic()
-        self.submitted = 0
-        self.rejected = 0
-        self.resolved = {status: 0 for status in RequestStatus}
-        self.queue_depth = 0
-        self.queue_peak = 0
-        self.cache_lookups = 0
-        self.cache_hits = 0
+        registry = self.registry
+        self._m_submitted = registry.counter(
+            "repro_service_requests_submitted_total",
+            "Requests admitted past admission control")
+        outcomes = registry.counter(
+            "repro_service_requests_total",
+            "Requests resolved, by terminal outcome",
+            ("outcome",))
+        # Pre-bind every terminal outcome so the snapshot always lists
+        # all of them (schema stability: zero counts stay visible).
+        self._m_outcomes = {
+            status: outcomes.labels(outcome=status.value)
+            for status in RequestStatus if status in TERMINAL_STATUSES
+        }
+        self._m_queue_depth = registry.gauge(
+            "repro_service_queue_depth",
+            "Requests waiting in the admission queue")
+        self._m_queue_peak = registry.gauge(
+            "repro_service_queue_depth_peak",
+            "Peak admission-queue depth since service start")
+        self._m_latency = registry.histogram(
+            "repro_service_request_latency_seconds",
+            "Submit-to-resolve latency of served requests",
+            ("expression",), buckets=LATENCY_BUCKETS)
+        self._m_cache_lookups = registry.counter(
+            "repro_service_plancache_lookups_total",
+            "Plan-cache lookups across all workers")
+        self._m_cache_hits = registry.counter(
+            "repro_service_plancache_hits_total",
+            "Plan-cache hits across all workers")
+        self._device_served = registry.counter(
+            "repro_service_device_served_total",
+            "Requests served, per device worker", ("device",))
+        self._device_failed = registry.counter(
+            "repro_service_device_failed_total",
+            "Requests failed, per device worker", ("device",))
+        self._device_busy = registry.counter(
+            "repro_service_device_busy_seconds_total",
+            "Wall seconds spent executing, per device worker",
+            ("device",))
+        self._device_modeled = registry.counter(
+            "repro_service_device_modeled_seconds_total",
+            "Modeled device seconds executed, per device worker "
+            "(the Fig 5 axis)", ("device",))
         self._latency: dict[str, LatencyStats] = {}
-        self._devices: dict[str, _DeviceStats] = {}
+        self._devices: dict[str, _DeviceInstruments] = {}
         # Traced requests (service built with a Tracer): request id ->
         # trace id join records, newest last.
         self._traces: "deque[dict]" = deque(maxlen=MAX_TRACE_RECORDS)
@@ -122,33 +186,32 @@ class ServiceMetrics:
 
     def register_device(self, name: str) -> None:
         with self._lock:
-            self._devices.setdefault(name, _DeviceStats())
+            if name not in self._devices:
+                self._devices[name] = _DeviceInstruments(self, name)
 
     def record_admitted(self) -> None:
-        with self._lock:
-            self.submitted += 1
+        self._m_submitted.inc()
 
     def record_rejected(self) -> None:
-        with self._lock:
-            self.rejected += 1
-            self.resolved[RequestStatus.REJECTED] += 1
+        self._m_outcomes[RequestStatus.REJECTED].inc()
 
     def set_queue_depth(self, depth: int) -> None:
-        with self._lock:
-            self.queue_depth = depth
-            if depth > self.queue_peak:
-                self.queue_peak = depth
+        self._m_queue_depth.set(depth)
+        self._m_queue_peak.set_max(depth)
 
     def record_result(self, request: ServiceRequest) -> None:
         """Fold one admitted request's terminal state into the counters."""
+        status = request.status
+        self._m_outcomes[status].inc()
         with self._lock:
-            status = request.status
-            self.resolved[status] += 1
             if status is RequestStatus.SERVED:
                 stats = self._latency.setdefault(request.expression,
                                                  LatencyStats())
                 if request.latency is not None:
                     stats.record(request.latency)
+                    self._m_latency.labels(
+                        expression=request.expression
+                    ).observe(request.latency)
             trace_id = getattr(request, "trace_id", None)
             if trace_id is not None:
                 self._traced_total += 1
@@ -167,61 +230,73 @@ class ServiceMetrics:
                          failed: bool = False) -> None:
         """One worker execution's accounting (served or failed)."""
         with self._lock:
-            stats = self._devices.setdefault(device, _DeviceStats())
-            if failed:
-                stats.failed += 1
-            else:
-                stats.served += 1
-            stats.busy_seconds += busy_seconds
-            stats.modeled_seconds += modeled_seconds
-            if cache_hit is not None:
-                self.cache_lookups += 1
-                self.cache_hits += int(cache_hit)
+            instruments = self._devices.get(device)
+            if instruments is None:
+                instruments = _DeviceInstruments(self, device)
+                self._devices[device] = instruments
+        if failed:
+            instruments.failed.inc()
+        else:
+            instruments.served.inc()
+        instruments.busy_seconds.inc(busy_seconds)
+        instruments.modeled_seconds.inc(modeled_seconds)
+        if cache_hit is not None:
+            self._m_cache_lookups.inc()
+            if cache_hit:
+                self._m_cache_hits.inc()
 
     # -- read path -----------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """A point-in-time, JSON-serializable view of every metric."""
+        """A point-in-time, JSON-serializable view of every metric.
+
+        ``in_flight`` is computed from the explicit invariant
+        ``offered == terminal + in_flight``: terminal counters are read
+        *before* the submitted counter, and every terminal increment is
+        preceded by its submitted/rejected increment, so the difference
+        is never negative.
+        """
         with self._lock:
             uptime = max(time.monotonic() - self.started_at, 1e-9)
-            served = self.resolved[RequestStatus.SERVED]
-            outcomes = {status.value: count
-                        for status, count in self.resolved.items()
-                        if status not in (RequestStatus.QUEUED,
-                                          RequestStatus.DISPATCHED,
-                                          RequestStatus.RUNNING)}
+            outcomes = {status.value: int(child.value)
+                        for status, child in self._m_outcomes.items()}
             terminal = sum(outcomes.values())
+            submitted = int(self._m_submitted.value)
+            rejected = outcomes[RequestStatus.REJECTED.value]
+            offered = submitted + rejected
+            served = outcomes[RequestStatus.SERVED.value]
             devices = {}
-            for name, stats in self._devices.items():
+            for name, inst in self._devices.items():
+                busy = inst.busy_seconds.value
                 devices[name] = {
-                    "served": stats.served,
-                    "failed": stats.failed,
-                    "busy_seconds": stats.busy_seconds,
-                    "modeled_seconds": stats.modeled_seconds,
-                    "utilization": min(stats.busy_seconds / uptime, 1.0),
+                    "served": int(inst.served.value),
+                    "failed": int(inst.failed.value),
+                    "busy_seconds": busy,
+                    "modeled_seconds": inst.modeled_seconds.value,
+                    "utilization": min(busy / uptime, 1.0),
                 }
+            lookups = int(self._m_cache_lookups.value)
+            hits = int(self._m_cache_hits.value)
             return {
                 "uptime_seconds": uptime,
                 "requests": {
-                    "submitted": self.submitted,
-                    "offered": self.submitted + self.rejected,
+                    "submitted": submitted,
+                    "offered": offered,
                     "resolved": terminal,
-                    "in_flight": self.submitted
-                                 - (terminal - self.rejected),
+                    "in_flight": offered - terminal,
                     "outcomes": outcomes,
                 },
                 "queue": {
-                    "depth": self.queue_depth,
-                    "peak_depth": self.queue_peak,
+                    "depth": int(self._m_queue_depth.value),
+                    "peak_depth": int(self._m_queue_peak.value),
                 },
                 "throughput_rps": served / uptime,
                 "latency": {name: stats.summary()
                             for name, stats in self._latency.items()},
                 "plan_cache": {
-                    "lookups": self.cache_lookups,
-                    "hits": self.cache_hits,
-                    "hit_rate": (self.cache_hits / self.cache_lookups
-                                 if self.cache_lookups else 0.0),
+                    "lookups": lookups,
+                    "hits": hits,
+                    "hit_rate": hits / lookups if lookups else 0.0,
                 },
                 "devices": devices,
                 "traces": {

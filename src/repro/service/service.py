@@ -42,6 +42,7 @@ import numpy as np
 
 from ..clsim.device import DeviceSpec, DeviceType
 from ..errors import ServiceClosed
+from ..metrics import MetricsRegistry
 from ..strategies.bindings import BindingInput
 from ..strategies.plancache import PlanCache
 from ..trace import NULL_TRACER, Tracer
@@ -82,12 +83,16 @@ class DerivedFieldService:
                  affinity_slack: int = 1,
                  backend: str = "vectorized",
                  start: bool = True,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 metrics_registry: Optional[MetricsRegistry] = None):
         if not devices:
             raise ValueError("service needs at least one device")
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.plan_cache = PlanCache(plan_cache_size)
-        self.metrics = ServiceMetrics()
+        # Default: a private registry, so snapshot() describes exactly
+        # this instance.  Pass repro.metrics.get_registry() to expose the
+        # service on the process-wide /metrics endpoint instead.
+        self.metrics = ServiceMetrics(registry=metrics_registry)
         self.default_timeout = default_timeout
         self._queue = AdmissionQueue(queue_depth, gauge=self._gauge)
         self._scheduler = LeastLoadedScheduler(self.plan_cache,

@@ -40,6 +40,7 @@ import numpy as np
 
 from ..clsim.environment import CLEnvironment
 from ..dataflow.network import Network
+from ..metrics import get_registry
 from ..dataflow.spec import CONST, SOURCE
 from ..primitives.base import ResultKind, VECTOR_WIDTH
 from .base import ExecutionReport
@@ -166,15 +167,30 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Registry mirror: process-wide hit/miss/evict counters
+        # (cumulative across every cache instance; per-cache exactness
+        # stays on the instance counters above, surfaced via CacheInfo).
+        registry = get_registry()
+        self._m_hits = registry.counter(
+            "repro_plancache_hits_total",
+            "Executable-plan lookups served from the cache")
+        self._m_misses = registry.counter(
+            "repro_plancache_misses_total",
+            "Executable-plan lookups that required a plan build")
+        self._m_evictions = registry.counter(
+            "repro_plancache_evictions_total",
+            "Cached plans evicted by the LRU bound")
 
     def get(self, key: PlanKey) -> "Optional[ExecutablePlan]":
         with self._lock:
             plan = self._plans.get(key)
             if plan is None:
                 self.misses += 1
+                self._m_misses.inc()
                 return None
             self._plans.move_to_end(key)
             self.hits += 1
+            self._m_hits.inc()
             return plan
 
     def put(self, key: PlanKey, plan: "ExecutablePlan") -> None:
@@ -184,6 +200,7 @@ class PlanCache:
             while len(self._plans) > self.maxsize:
                 self._plans.popitem(last=False)
                 self.evictions += 1
+                self._m_evictions.inc()
 
     def info(self, hit: bool) -> CacheInfo:
         with self._lock:

@@ -1,0 +1,116 @@
+"""Tests for the metrics exposition endpoints: the JSON dump used by
+``derive --metrics`` and the live HTTP server behind
+``serve --metrics-port``, including an end-to-end scrape during a
+running service."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.metrics import MetricsRegistry, MetricsServer, write_metrics_json
+from repro.metrics.prometheus import CONTENT_TYPE
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_t_total", "t", ("device",)) \
+        .labels(device="cpu").inc(5)
+    registry.histogram("repro_t_seconds", "t", buckets=(1.0,)) \
+        .observe(0.5)
+    return registry
+
+
+class TestWriteMetricsJson:
+    def test_writes_snapshot_and_returns_it(self, registry, tmp_path):
+        path = tmp_path / "metrics.json"
+        returned = write_metrics_json(str(path), registry)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == returned == registry.snapshot()
+        assert on_disk["repro_t_total"]["samples"][0]["value"] == 5.0
+
+
+class TestMetricsServer:
+    def test_prometheus_endpoint(self, registry):
+        with MetricsServer(registry) as server:
+            with urllib.request.urlopen(server.url("/metrics")) as reply:
+                assert reply.status == 200
+                assert reply.headers["Content-Type"] == CONTENT_TYPE
+                body = reply.read().decode("utf-8")
+        assert "# TYPE repro_t_total counter" in body
+        assert 'repro_t_total{device="cpu"} 5' in body
+        assert 'repro_t_seconds_bucket{le="+Inf"} 1' in body
+
+    def test_json_endpoint_matches_snapshot(self, registry):
+        with MetricsServer(registry) as server:
+            with urllib.request.urlopen(
+                    server.url("/metrics.json")) as reply:
+                assert reply.headers["Content-Type"] == "application/json"
+                body = json.loads(reply.read().decode("utf-8"))
+        assert body == registry.snapshot()
+
+    def test_unknown_path_is_404(self, registry):
+        with MetricsServer(registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url("/other"))
+            assert excinfo.value.code == 404
+
+    def test_serves_live_state_not_a_cache(self, registry):
+        with MetricsServer(registry) as server:
+            first = urllib.request.urlopen(
+                server.url("/metrics")).read().decode()
+            registry.get("repro_t_total").labels(device="cpu").inc()
+            second = urllib.request.urlopen(
+                server.url("/metrics")).read().decode()
+        assert 'repro_t_total{device="cpu"} 5' in first
+        assert 'repro_t_total{device="cpu"} 6' in second
+
+    def test_ephemeral_port_and_idempotent_close(self, registry):
+        server = MetricsServer(registry)
+        assert server.port > 0
+        server.start()
+        server.start()                      # no-op on a running server
+        server.close()
+        server.close()                      # idempotent
+
+
+class TestServeIntegration:
+    """The acceptance path: a service on a shared registry, scraped
+    over HTTP mid-run (what ``serve --metrics-port`` wires up)."""
+
+    def test_scrape_during_service_run(self):
+        from repro.metrics import set_registry
+        from repro.service import DerivedFieldService, default_cases, \
+            run_load
+        from repro.workloads import SubGrid, make_fields
+        from tests.metrics.test_prometheus import parse_exposition
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            fields = make_fields(SubGrid(8, 8, 12), seed=0)
+            cases = default_cases(fields, ["q_criterion"])
+            with DerivedFieldService(devices=("cpu",),
+                                     metrics_registry=registry) as service:
+                with MetricsServer(registry) as server:
+                    run_load(service, cases, clients=2, requests=10)
+                    body = urllib.request.urlopen(
+                        server.url("/metrics")).read().decode("utf-8")
+        finally:
+            set_registry(previous)
+
+        families = parse_exposition(body)    # valid exposition text
+        # Service, engine, and clsim families share the one endpoint.
+        assert "repro_service_requests_submitted_total" in families
+        assert "repro_service_requests_total" in families
+        assert "repro_engine_execute_total" in families
+        assert "repro_clsim_kernel_launches_total" in families
+        served = [value for _, labels, value
+                  in families["repro_service_requests_total"]["samples"]
+                  if labels.get("outcome") == "served"]
+        assert served == [10.0]
+        submitted, = [value for _, _, value in families[
+            "repro_service_requests_submitted_total"]["samples"]]
+        assert submitted == 10.0

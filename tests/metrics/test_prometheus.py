@@ -1,0 +1,183 @@
+"""Round-trip tests for the Prometheus text exposition.
+
+A small parser reads the rendered text back into families/samples and
+the tests compare that against the registry's own snapshot — so the
+renderer's escaping, HELP/TYPE framing, and histogram expansion are
+all checked as one contract instead of string-by-string.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+from repro.metrics.prometheus import CONTENT_TYPE, render_prometheus
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})? (?P<value>\S+)$")
+LABEL_RE = re.compile(r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)='
+                      r'"(?P<value>(?:\\.|[^"\\])*)"(?:,|$)')
+
+
+def _unescape(text):
+    return (text.replace(r"\n", "\n").replace(r"\"", '"')
+            .replace(r"\\", "\\"))
+
+
+def parse_exposition(text):
+    """Parse exposition text into ``{family: {"help", "type",
+    "samples": [(name, labels_dict, float_value)]}}``."""
+    families = {}
+    current = None
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert name not in families, f"duplicate HELP for {name}"
+            current = families.setdefault(
+                name, {"help": _unescape(help_text), "type": None,
+                       "samples": []})
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, type_text = rest.partition(" ")
+            assert name in families, "TYPE must follow its HELP"
+            assert families[name]["type"] is None, f"duplicate TYPE {name}"
+            families[name]["type"] = type_text
+        else:
+            match = SAMPLE_RE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            labels = {m.group("name"): _unescape(m.group("value"))
+                      for m in LABEL_RE.finditer(match.group("labels")
+                                                 or "")}
+            assert current is not None, "sample before any HELP"
+            value = (math.inf if match.group("value") == "+Inf"
+                     else float(match.group("value")))
+            current["samples"].append((match.group("name"), labels,
+                                       value))
+    return families
+
+
+def test_content_type_is_exposition_004():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TestScalarRoundTrip:
+    def test_counter_and_gauge_values_survive(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_t_total", "count",
+                         ("device",)).labels(device="cpu").inc(3)
+        registry.gauge("repro_t_bytes", "bytes").set(1.5)
+        families = parse_exposition(render_prometheus(registry))
+        assert families["repro_t_total"]["type"] == "counter"
+        assert families["repro_t_total"]["samples"] == [
+            ("repro_t_total", {"device": "cpu"}, 3.0)]
+        assert families["repro_t_bytes"]["samples"] == [
+            ("repro_t_bytes", {}, 1.5)]
+
+    def test_integral_floats_render_as_integers(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_t_total", "t").inc(7)
+        assert "repro_t_total 7\n" in render_prometheus(registry)
+
+    def test_families_are_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_z_total", "z")
+        registry.counter("repro_a_total", "a")
+        text = render_prometheus(registry)
+        assert text.index("repro_a_total") < text.index("repro_z_total")
+
+
+class TestEscaping:
+    def test_label_values_with_specials_round_trip(self):
+        awkward = 'GeForce "GTX"\\460\nrev2'
+        registry = MetricsRegistry()
+        registry.counter("repro_t_total", "t",
+                         ("device",)).labels(device=awkward).inc()
+        families = parse_exposition(render_prometheus(registry))
+        (_, labels, value), = families["repro_t_total"]["samples"]
+        assert labels == {"device": awkward}
+        assert value == 1.0
+
+    def test_help_with_newline_and_backslash_round_trips(self):
+        help_text = "first\\line\nsecond"
+        registry = MetricsRegistry()
+        registry.counter("repro_t_total", help_text)
+        families = parse_exposition(render_prometheus(registry))
+        assert families["repro_t_total"]["help"] == help_text
+        # The rendered text itself must stay one physical line.
+        for line in render_prometheus(registry).splitlines():
+            if line.startswith("# HELP"):
+                assert "\n" not in line
+
+
+class TestHistogramExpansion:
+    @pytest.fixture
+    def families(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_t_seconds", "time", ("expression",),
+            buckets=(0.001, 0.01, 0.1))
+        child = histogram.labels(expression="q_criterion")
+        for value in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            child.observe(value)
+        return parse_exposition(render_prometheus(registry))
+
+    def test_bucket_sum_count_series(self, families):
+        samples = families["repro_t_seconds"]["samples"]
+        names = [name for name, _, _ in samples]
+        assert names == (["repro_t_seconds_bucket"] * 4
+                         + ["repro_t_seconds_sum",
+                            "repro_t_seconds_count"])
+        assert families["repro_t_seconds"]["type"] == "histogram"
+
+    def test_buckets_cumulative_and_inf_equals_count(self, families):
+        samples = families["repro_t_seconds"]["samples"]
+        buckets = [(labels["le"], value) for name, labels, value
+                   in samples if name.endswith("_bucket")]
+        les = [le for le, _ in buckets]
+        counts = [count for _, count in buckets]
+        assert les == ["0.001", "0.01", "0.1", "+Inf"]
+        assert counts == [1, 3, 4, 5]
+        assert counts == sorted(counts)       # monotone non-decreasing
+        count_value = next(v for name, _, v in samples
+                           if name.endswith("_count"))
+        assert counts[-1] == count_value == 5
+
+    def test_bucket_le_coexists_with_family_labels(self, families):
+        samples = families["repro_t_seconds"]["samples"]
+        for name, labels, _ in samples:
+            if name.endswith("_bucket"):
+                assert labels["expression"] == "q_criterion"
+                assert "le" in labels
+
+    def test_sum_matches_observations(self, families):
+        samples = families["repro_t_seconds"]["samples"]
+        total = next(v for name, _, v in samples
+                     if name.endswith("_sum"))
+        assert total == pytest.approx(5.0605)
+
+
+def test_round_trip_matches_snapshot():
+    """The parsed exposition agrees with snapshot() family by family."""
+    registry = MetricsRegistry()
+    registry.counter("repro_a_total", "a", ("device",)) \
+        .labels(device="cpu").inc(4)
+    registry.gauge("repro_b_bytes", "b").set(12.0)
+    registry.histogram("repro_c_seconds", "c", buckets=(1.0,)) \
+        .observe(0.5)
+    families = parse_exposition(render_prometheus(registry))
+    snapshot = registry.snapshot()
+    assert set(families) == set(snapshot)
+    for name, family in snapshot.items():
+        assert families[name]["type"] == family["type"]
+        assert families[name]["help"] == family["help"]
+    assert families["repro_a_total"]["samples"] == [
+        ("repro_a_total", {"device": "cpu"}, 4.0)]
+    buckets = {labels["le"]: value for sample_name, labels, value
+               in families["repro_c_seconds"]["samples"]
+               if sample_name.endswith("_bucket")}
+    assert buckets == {"1.0": 1, "+Inf": 1}
+    assert buckets == snapshot["repro_c_seconds"]["samples"][0]["buckets"]

@@ -1,0 +1,150 @@
+"""Tests for the benchmark-regression gate (``benchmarks/regress.py``)
+and the snapshot validator (``benchmarks/validate_metrics.py``)."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+BENCHMARKS = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+if str(BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS))
+
+import regress            # noqa: E402
+import validate_metrics   # noqa: E402
+
+FAST_ARGS = ["--rounds", "2", "--requests", "8", "--clients", "2"]
+
+
+class TestDiffGate:
+    def _artifact(self, modeled, peak, wall):
+        return {"cases": {"case.a": {"modeled_s": modeled,
+                                     "peak_device_bytes": peak,
+                                     "wall_s": wall}}}
+
+    def test_clean_diff_passes(self):
+        previous = self._artifact(1.0, 1000, 0.5)
+        current = self._artifact(1.1, 1000, 0.55)
+        hard, soft = regress.diff_gate(previous, current, 0.15)
+        assert hard == [] and soft == []
+
+    def test_modeled_regression_is_hard(self):
+        hard, soft = regress.diff_gate(self._artifact(1.0, 1000, 0.5),
+                                       self._artifact(1.2, 1000, 0.5),
+                                       0.15)
+        assert len(hard) == 1 and "modeled_s" in hard[0]
+        assert soft == []
+
+    def test_peak_bytes_regression_is_hard(self):
+        hard, _ = regress.diff_gate(self._artifact(1.0, 1000, 0.5),
+                                    self._artifact(1.0, 1300, 0.5),
+                                    0.15)
+        assert len(hard) == 1 and "peak_device_bytes" in hard[0]
+
+    def test_wall_regression_is_soft(self):
+        hard, soft = regress.diff_gate(self._artifact(1.0, 1000, 0.5),
+                                       self._artifact(1.0, 1000, 0.9),
+                                       0.15)
+        assert hard == []
+        assert len(soft) == 1 and "wall_s" in soft[0]
+
+    def test_new_case_and_missing_metric_skipped(self):
+        previous = {"cases": {}}
+        current = self._artifact(99.0, 9999, 9.0)
+        assert regress.diff_gate(previous, current, 0.15) == ([], [])
+        previous = {"cases": {"case.a": {"modeled_s": None}}}
+        assert regress.diff_gate(previous, current, 0.15) == ([], [])
+
+    def test_improvement_never_fails(self):
+        hard, soft = regress.diff_gate(self._artifact(1.0, 1000, 0.5),
+                                       self._artifact(0.1, 100, 0.05),
+                                       0.15)
+        assert hard == [] and soft == []
+
+
+class TestTrajectory:
+    def test_numbering_and_ordering(self, tmp_path):
+        for n in (3, 1, 10):
+            (tmp_path / f"BENCH_{n}.json").write_text("{}")
+        (tmp_path / "bench_cache.json").write_text("{}")   # ignored
+        points = regress.trajectory(tmp_path)
+        assert [n for n, _ in points] == [1, 3, 10]
+
+    def test_empty_or_missing_dir(self, tmp_path):
+        assert regress.trajectory(tmp_path / "absent") == []
+        assert regress.trajectory(tmp_path) == []
+
+
+class TestEndToEnd:
+    def test_first_point_then_synthetic_slowdown_fails(self, tmp_path):
+        """The acceptance demonstration: BENCH_1.json is produced, a
+        clean overhead check passes (<=1%), and a synthetic 20%
+        slowdown exits nonzero against it."""
+        results = tmp_path / "results"
+        argv = ["--results-dir", str(results)] + FAST_ARGS
+        assert regress.main(argv + ["--check-overhead", "1.0"]) == 0
+
+        artifact = json.loads((results / "BENCH_1.json").read_text())
+        assert artifact["seq"] == 1
+        assert artifact["registry_overhead"]["fraction"] <= 0.01
+        case_names = set(artifact["cases"])
+        assert {"cache.q_criterion.fusion", "service.q_criterion",
+                "fig5.q_criterion.gpu.fusion"} <= case_names
+        fusion = artifact["cases"]["cache.q_criterion.fusion"]
+        assert fusion["wall_s"] > 0 and fusion["modeled_s"] > 0
+        assert fusion["peak_device_bytes"] > 0
+        assert fusion["events"] == {"dev_writes": 7, "dev_reads": 1,
+                                    "kernel_execs": 1}
+
+        assert regress.main(argv + ["--synthetic-slowdown", "0.2"]) == 1
+        assert (results / "BENCH_2.json").exists()
+
+
+class TestValidateMetrics:
+    def _metered_snapshot(self):
+        from repro.analysis.vortex import EXPRESSION_INPUTS, EXPRESSIONS
+        from repro.host.engine import DerivedFieldEngine
+        from repro.metrics import MetricsRegistry, set_registry
+        from repro.workloads import SubGrid, make_fields
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            engine = DerivedFieldEngine(device="gpu", strategy="fusion")
+            fields = make_fields(SubGrid(8, 8, 12), seed=0)
+            inputs = {k: fields[k]
+                      for k in EXPRESSION_INPUTS["q_criterion"]}
+            compiled = engine.compile(EXPRESSIONS["q_criterion"])
+            engine.execute(compiled, inputs)
+        finally:
+            set_registry(previous)
+        return registry.snapshot()
+
+    def test_metered_run_snapshot_is_valid(self):
+        assert validate_metrics.validate(self._metered_snapshot()) == []
+
+    def test_missing_required_family_reported(self):
+        snapshot = self._metered_snapshot()
+        del snapshot["repro_clsim_peak_bytes"]
+        errors = validate_metrics.validate(snapshot)
+        assert any("repro_clsim_peak_bytes" in e for e in errors)
+
+    def test_bad_shapes_reported(self):
+        snapshot = self._metered_snapshot()
+        snapshot["repro_clsim_peak_bytes"]["type"] = "wat"
+        snapshot["repro_engine_execute_duration_seconds"]["samples"][0][
+            "buckets"]["+Inf"] = -1
+        errors = validate_metrics.validate(snapshot)
+        assert any("bad type" in e for e in errors)
+        assert any("+Inf bucket != count" in e for e in errors)
+
+    def test_empty_snapshot_invalid(self):
+        assert validate_metrics.validate({}) != []
+        assert validate_metrics.validate([]) != []
+
+    def test_cli_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(self._metered_snapshot()))
+        assert validate_metrics.main([str(path)]) == 0
+        assert "valid" in capsys.readouterr().out

@@ -1,0 +1,169 @@
+"""Targeted tests for the ServiceMetrics math fixed in this change:
+the ceil-based nearest-rank percentile, the explicit
+``offered == terminal + in_flight`` accounting identity (stressed
+under concurrency), and the latency reservoir's thinning behaviour
+past its cap."""
+
+import random
+import threading
+
+import pytest
+
+from repro.service import LatencyStats, ServiceMetrics, percentile
+from repro.service.request import RequestStatus
+
+
+class TestPercentileNearestRank:
+    """rank = ceil(q/100 * N), 1-based — the textbook definition."""
+
+    def test_known_quantiles_of_1_to_100(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 95) == 95.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile(samples, 100) == 100.0
+
+    def test_even_length_p50_not_biased_low(self):
+        # The old round()-based rank took rank round(0.5*4) == 2 but
+        # round(0.5*2) == 1 vs ceil == 1... the observable bug: for
+        # N=100, round() gave rank 50 -> then +1 indexing returned 51.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+        assert percentile([1.0, 2.0], 50) == 1.0
+
+    def test_small_quantile_clamps_to_first(self):
+        samples = [10.0, 20.0, 30.0]
+        assert percentile(samples, 0) == 10.0
+        assert percentile(samples, 1) == 10.0
+
+    def test_fractional_ranks_round_up(self):
+        samples = [1.0, 2.0, 3.0]
+        assert percentile(samples, 34) == 2.0    # ceil(1.02) == 2
+        assert percentile(samples, 67) == 3.0    # ceil(2.01) == 3
+
+    def test_singleton(self):
+        assert percentile([42.0], 50) == 42.0
+        assert percentile([42.0], 99) == 42.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class StubRequest:
+    """Just enough of ServiceRequest for record_result()."""
+
+    def __init__(self, request_id, status, latency=None):
+        self.id = request_id
+        self.expression = "stub"
+        self.status = status
+        self.latency = latency
+        self.device = "dev0"
+
+
+class TestInFlightInvariant:
+    def test_arithmetic_identity(self):
+        metrics = ServiceMetrics()
+        for _ in range(5):
+            metrics.record_admitted()
+        metrics.record_rejected()
+        for i in range(3):
+            metrics.record_result(
+                StubRequest(i, RequestStatus.SERVED, latency=0.01))
+        snapshot = metrics.snapshot()["requests"]
+        assert snapshot["submitted"] == 5
+        assert snapshot["offered"] == 6          # submitted + rejected
+        assert snapshot["resolved"] == 4         # 3 served + 1 rejected
+        assert snapshot["in_flight"] == 2
+        assert snapshot["offered"] == (snapshot["resolved"]
+                                       + snapshot["in_flight"])
+
+    def test_stress_snapshot_never_negative(self):
+        """Concurrent admit/resolve with a racing reader: in_flight must
+        satisfy the identity and never go negative mid-flight."""
+        metrics = ServiceMetrics()
+        total = 2000
+        workers = 4
+        stop = threading.Event()
+        violations = []
+
+        def reader():
+            while not stop.is_set():
+                requests = metrics.snapshot()["requests"]
+                in_flight = requests["in_flight"]
+                if in_flight < 0:
+                    violations.append(requests)
+                if requests["offered"] != (requests["resolved"]
+                                           + in_flight):
+                    violations.append(requests)
+
+        def producer(base):
+            statuses = [RequestStatus.SERVED, RequestStatus.FAILED,
+                        RequestStatus.TIMED_OUT, RequestStatus.CANCELLED]
+            for i in range(total):
+                metrics.record_admitted()
+                status = statuses[i % len(statuses)]
+                latency = 0.001 if status is RequestStatus.SERVED else None
+                metrics.record_result(
+                    StubRequest(base + i, status, latency=latency))
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        producers = [threading.Thread(target=producer, args=(w * total,))
+                     for w in range(workers)]
+        for t in readers + producers:
+            t.start()
+        for t in producers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert violations == []
+        final = metrics.snapshot()["requests"]
+        assert final["submitted"] == workers * total
+        assert final["in_flight"] == 0
+        assert final["resolved"] == workers * total
+
+
+class TestReservoirThinning:
+    def test_property_over_cap(self):
+        """Past MAX_LATENCY_SAMPLES the reservoir halves; count/mean/max
+        stay exact and percentiles stay close to the truth."""
+        from repro.service.metrics import MAX_LATENCY_SAMPLES
+
+        rng = random.Random(20120101)
+        n = MAX_LATENCY_SAMPLES + 40000
+        stats = LatencyStats()
+        values = [rng.expovariate(10.0) for _ in range(n)]
+        for value in values:
+            stats.record(value)
+
+        assert stats.count == n                          # exact
+        assert len(stats._samples) < MAX_LATENCY_SAMPLES  # bounded
+        summary = stats.summary()
+        assert summary["max_s"] == max(values)           # exact
+        assert summary["mean_s"] == pytest.approx(
+            sum(values) / n)                             # exact
+        ordered = sorted(values)
+        for q, key in ((50, "p50_s"), (95, "p95_s"), (99, "p99_s")):
+            true_quantile = percentile(ordered, q)
+            assert summary[key] == pytest.approx(true_quantile,
+                                                 rel=0.05), \
+                f"p{q}: {summary[key]} vs true {true_quantile}"
+
+    def test_thinning_is_uniform_not_prefix_biased(self):
+        """A monotone ramp: the thinned reservoir must keep late samples,
+        not only the early prefix."""
+        import repro.service.metrics as service_metrics
+        original = service_metrics.MAX_LATENCY_SAMPLES
+        service_metrics.MAX_LATENCY_SAMPLES = 1024
+        try:
+            stats = LatencyStats()
+            n = 10000
+            for i in range(n):
+                stats.record(float(i))
+            kept = stats._samples
+            assert len(kept) < 2048
+            assert max(kept) > 0.9 * n       # tail survived thinning
+            summary = stats.summary()
+            assert summary["p50_s"] == pytest.approx(n / 2, rel=0.1)
+        finally:
+            service_metrics.MAX_LATENCY_SAMPLES = original

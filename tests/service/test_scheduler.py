@@ -164,7 +164,7 @@ class TestLatencyMath:
     def test_percentile_nearest_rank(self):
         samples = [float(i) for i in range(1, 101)]
         assert percentile(samples, 0) == 1.0
-        assert percentile(samples, 50) == 51.0    # rank round(0.5 * 99)
+        assert percentile(samples, 50) == 50.0    # rank ceil(0.5 * 100)
         assert percentile(samples, 100) == 100.0
 
     def test_percentile_empty_raises(self):
