@@ -43,6 +43,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    from .codegen import default_plan_cache_dir
+    parser.add_argument(
+        "--backend",
+        choices=("vectorized", "interpreted", "compiled"),
+        default=None,
+        help="executor backend (default: compiled for cached fusion, "
+             "vectorized otherwise)")
+    parser.add_argument(
+        "--plan-cache-dir", metavar="DIR", nargs="?",
+        const=str(default_plan_cache_dir()), default=None,
+        help="persist compiled plans on disk so a restarted process "
+             "warms without recompiling (bare flag uses "
+             f"{default_plan_cache_dir()})")
+
+
 def _parse_grid(text: str) -> SubGrid:
     try:
         ni, nj, nk = (int(p) for p in text.lower().split("x"))
@@ -65,6 +81,8 @@ def cmd_derive(args) -> int:
         from .trace import Tracer
         tracer = Tracer()
     engine = DerivedFieldEngine(device=args.device, strategy=args.strategy,
+                                backend=args.backend,
+                                plan_cache_dir=args.plan_cache_dir,
                                 tracer=tracer)
     compiled = engine.compile(_expression(args))
     inputs = {k: fields[k] for k in compiled.required_inputs}
@@ -92,6 +110,11 @@ def cmd_derive(args) -> int:
     print(f"  modeled: {report.timing.total:.6f} s   "
           f"device memory {report.mem_high_water:,} B")
     if args.verbose:
+        if report.codegen is not None:
+            cg = report.codegen
+            print(f"  executor:   {cg.backend} ({cg.disposition})")
+        else:
+            print(f"  executor:   {engine.backend}")
         if report.cache is not None:
             c = report.cache
             print(f"  plan cache: {'hit' if c.hit else 'miss'} "
@@ -242,6 +265,8 @@ def cmd_serve(args) -> int:
         with DerivedFieldService(devices=devices, strategy=args.strategy,
                                  queue_depth=args.queue_depth,
                                  default_timeout=args.timeout,
+                                 backend=args.backend,
+                                 plan_cache_dir=args.plan_cache_dir,
                                  tracer=tracer,
                                  metrics_registry=metrics_registry,
                                  ) as service:
@@ -291,8 +316,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--show-kernels", action="store_true",
                    help="print the generated OpenCL C")
     p.add_argument("--verbose", "-v", action="store_true",
-                   help="also print plan-cache and allocator/pool "
+                   help="also print the executor backend, its cache "
+                        "disposition, and plan-cache and allocator/pool "
                         "statistics for this run")
+    _add_backend(p)
     p.add_argument("--trace", metavar="FILE",
                    help="trace this run (engine phases, strategy spans, "
                         "modeled device lanes) and write Chrome "
@@ -360,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve live /metrics (Prometheus text) and "
                         "/metrics.json on this port for the duration "
                         "of the run (0 picks an ephemeral port)")
+    _add_backend(p)
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("plan",

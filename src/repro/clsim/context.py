@@ -34,7 +34,8 @@ class Context:
     BACKENDS = ("vectorized", "interpreted")
 
     def __init__(self, device: DeviceSpec, *, dry_run: bool = False,
-                 backend: str = "vectorized", pooling: bool = False):
+                 backend: str = "vectorized", pooling: bool = False,
+                 registry=None):
         if backend not in self.BACKENDS:
             from ..errors import CLError
             raise CLError(f"unknown backend {backend!r}; "
@@ -42,8 +43,9 @@ class Context:
         self.device = device
         self.dry_run = dry_run
         self.backend = backend
-        self.allocator = Allocator(device)
-        self.pool = BufferPool(self.allocator) if pooling else None
+        self.allocator = Allocator(device, registry=registry)
+        self.pool = (BufferPool(self.allocator, registry=registry)
+                     if pooling else None)
 
     def create_buffer(self, nbytes: int, label: str = "") -> Buffer:
         """Allocate device global memory (raises CLOutOfMemoryError)."""

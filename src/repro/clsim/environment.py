@@ -53,7 +53,7 @@ class CLEnvironment:
 
     def __init__(self, device: str | DeviceType | DeviceSpec = "gpu", *,
                  dry_run: bool = False, backend: str = "vectorized",
-                 pooling: bool = False, tracer=None):
+                 pooling: bool = False, tracer=None, registry=None):
         if isinstance(device, DeviceSpec):
             self.device = device
         else:
@@ -63,8 +63,9 @@ class CLEnvironment:
         # spans); NULL_TRACER keeps the hot path allocation-free.
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.context = Context(self.device, dry_run=dry_run,
-                               backend=backend, pooling=pooling)
-        self.queue = CommandQueue(self.context)
+                               backend=backend, pooling=pooling,
+                               registry=registry)
+        self.queue = CommandQueue(self.context, registry=registry)
 
     # -- buffers -------------------------------------------------------------
 

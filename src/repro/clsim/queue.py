@@ -79,7 +79,7 @@ def _run_interpreted(kernel: Kernel, device_args: list,
 class CommandQueue:
     """In-order command queue on one simulated device."""
 
-    def __init__(self, context: Context):
+    def __init__(self, context: Context, registry=None):
         self.context = context
         self.device = context.device
         self.log = EventLog()
@@ -88,7 +88,10 @@ class CommandQueue:
         # surface): one count counter + one bytes counter per category,
         # bound once per queue so the per-event cost is two child
         # increments.  The log observer catches every record path.
-        registry = get_registry()
+        # ``registry`` overrides the process registry — capture/replay
+        # environments pass NULL_REGISTRY so modeling runs stay silent.
+        if registry is None:
+            registry = get_registry()
         transfers = registry.counter(
             "repro_clsim_transfers_total",
             "Host<->device transfers enqueued (Table II Dev-W / Dev-R)",

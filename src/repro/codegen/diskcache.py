@@ -1,0 +1,124 @@
+"""Persistent on-disk cache of compiled plans.
+
+PyOP2 caches its runtime-generated backend modules on disk so a restarted
+process skips recompilation; this module does the same for compiled sweep
+plans.  One JSON file per plan under a cache root
+(``~/.cache/repro/plans`` by default, ``--plan-cache-dir`` to override):
+
+* **filename** — SHA-256 of ``repr(PlanKey)``.  The key already contains
+  the network signature, strategy token, dtype, element count, source
+  shapes, device identity, backend, and the primitive-registry
+  fingerprint, so any change to any of them lands on a different file.
+* **payload** — ``{"schema", "token", "key", "entry"}``.  ``token`` is
+  :func:`~repro.codegen.compiled.codegen_token` (generator version +
+  registry fingerprint): a generator change keeps the filename but fails
+  the token check, so stale entries self-invalidate.  ``key`` stores the
+  full ``repr`` to rule out (astronomically unlikely) hash collisions
+  and to make entries self-describing for humans.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or
+concurrent writer can never leave a torn entry, and every failure mode —
+missing file, unreadable file, malformed JSON, schema/token/key mismatch
+— degrades to a miss or an invalidation, never an exception on the
+execution path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["DiskLookup", "PlanDiskCache", "default_plan_cache_dir"]
+
+SCHEMA_VERSION = 1
+
+
+def default_plan_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME/repro/plans`` (or ``~/.cache/repro/plans``)."""
+    base = os.environ.get("XDG_CACHE_HOME") or str(Path.home() / ".cache")
+    return Path(base) / "repro" / "plans"
+
+
+@dataclass(frozen=True)
+class DiskLookup:
+    """Result of one disk probe.
+
+    ``status`` is ``"hit"`` (entry returned), ``"miss"`` (no usable
+    file), or ``"invalid"`` (a file existed but was stale, corrupt, or
+    foreign — it has been unlinked so the rebuilt plan replaces it).
+    """
+
+    status: str
+    entry: Optional[dict] = None
+
+
+class PlanDiskCache:
+    """Directory of atomically-written compiled-plan entries.
+
+    Safe to share between engines, service workers, and processes: reads
+    never block writes, writes are atomic replacements, and duplicate
+    writes of the same key are idempotent (same content, last one wins).
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root).expanduser()
+
+    def _path(self, key) -> Path:
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()
+        return self.root / f"{digest}.json"
+
+    def store(self, key, token: str, entry: dict) -> bool:
+        """Persist one entry; returns False (never raises) on I/O
+        failure — a read-only cache dir degrades to cold compiles."""
+        payload = {"schema": SCHEMA_VERSION, "token": token,
+                   "key": repr(key), "entry": entry}
+        path = self._path(key)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        return True
+
+    def load(self, key, token: str) -> DiskLookup:
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except (OSError, UnicodeDecodeError):
+            return DiskLookup("miss")
+        try:
+            payload = json.loads(text)
+            if (not isinstance(payload, dict)
+                    or payload.get("schema") != SCHEMA_VERSION
+                    or payload.get("token") != token
+                    or payload.get("key") != repr(key)
+                    or not isinstance(payload.get("entry"), dict)):
+                raise ValueError("stale or foreign plan-cache entry")
+        except (ValueError, TypeError):
+            # Corrupt, truncated, or out-of-date: drop it so the freshly
+            # compiled plan takes its place.
+            self.invalidate(key)
+            return DiskLookup("invalid")
+        return DiskLookup("hit", payload["entry"])
+
+    def invalidate(self, key) -> None:
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for p in self.root.glob("*.json"))
+        except OSError:
+            return 0

@@ -1,0 +1,449 @@
+"""Lower a dataflow network into one Python sweep function's source.
+
+The interpreter strategies walk an executor tree on every launch: one
+Python-level dispatch, one full-size temporary, and one round of argument
+marshalling per primitive.  The generator instead emits the whole network
+as straight-line Python — inputs as function parameters, intermediates as
+locals, one vectorized NumPy statement per node — which ``compile()``s
+once and then runs as a single function call on the warm path.
+
+Lowering rules (each chosen to keep the result bitwise-identical to the
+interpreters, which all apply the same ``numpy_fn`` sequence):
+
+* arithmetic primitives become native operators (``+ - * /`` and unary
+  ``-`` are the same ufuncs ``np.add``/``np.subtract``/... invoke);
+* constants are inlined as parenthesized literals, exactly like the
+  fusion executor's source-level constant insertion;
+* ``grad3d`` over source meshes lowers to row form
+  (:func:`~repro.codegen.runtime.grad3d_rows`), and gradients of several
+  source fields over one mesh fuse into a single
+  :func:`~repro.codegen.runtime.grad3d_stack` call;
+* decompositions of row-form gradients alias locals (components 0-2) or
+  a zeros row (the padding lane); everything else slices ``[:, c]`` the
+  way the fusion executor does;
+* any other primitive calls its registered ``numpy_fn`` through a bound
+  ``_p_<name>`` name, with row-form values materialized back to the
+  padded AoS layout first.
+
+On top of the straight-line lowering, two optimizations shrink the
+sweep's memory traffic — the dominant cost once per-op dispatch is gone,
+because dozens of full-size temporaries overflow the cache:
+
+* **commutative CSE** — IEEE ``add`` and ``multiply`` are commutative
+  bitwise, so ``a + b`` and ``b + a`` (which interpreter networks emit
+  freely for symmetric tensors) collapse to one statement via a value
+  table keyed on canonically ordered operands;
+* **buffer donation** — a liveness pass finds, per arithmetic statement,
+  an operand temporary that dies at that statement and whose buffer the
+  result can be computed into (``np.add(a, b, out=a)``).  The working
+  set then stays a handful of cache-hot arrays instead of one cold
+  allocation per node.  Donation is cast-hazardous when inputs mix
+  dtypes, so the fast body is guarded by a runtime
+  :func:`~repro.codegen.runtime.uniform_float` check on every
+  dtype-contributing parameter and the unguarded pure-SSA body is kept
+  as the ``else`` branch — same statements, no ``out=``.
+
+The emitted source depends only on the network (not on array sizes or
+dtypes), so it can be persisted to the on-disk plan cache and re-``exec``'d
+by a later process against that process's primitive registry.
+"""
+
+from __future__ import annotations
+
+import itertools
+import keyword
+from dataclasses import dataclass, field
+
+from ..dataflow.network import Network
+from ..dataflow.spec import CONST, SOURCE, NodeSpec
+from ..errors import CodegenError
+from ..primitives.arithmetic import ADD, DIV, MULT, NEG, SUB
+from ..primitives.base import ResultKind
+from ..primitives.gradient import grad3d_numpy
+
+__all__ = ["SweepSource", "generate_sweep"]
+
+# Names the generated function may not use for parameters: the module
+# binding plus everything the namespace builder injects (all of which
+# start with an underscore, which the sanitizer rejects wholesale).
+_RESERVED = {"np"}
+
+# Arithmetic primitives whose numpy_fn is exactly the ufunc the native
+# operator invokes.  Matched by identity: a custom registry primitive
+# that merely shares the name falls back to the generic ``_p_`` call.
+_BINARY_OPS = ((ADD, "+"), (SUB, "-"), (MULT, "*"), (DIV, "/"))
+
+# Operator -> the ufunc the operator invokes, for ``out=`` rendering.
+_UFUNC = {"+": "np.add", "-": "np.subtract", "*": "np.multiply",
+          "/": "np.divide", "neg": "np.negative"}
+
+# Operators that are bitwise-commutative in IEEE arithmetic (addition
+# and multiplication; subtraction/division are not).
+_COMMUTATIVE = {"+", "*"}
+
+
+@dataclass(frozen=True)
+class SweepSource:
+    """The generated sweep: source text plus its binding requirements."""
+
+    source: str
+    params: tuple[str, ...]           # function parameters, source order
+    primitive_names: tuple[str, ...]  # primitives bound as _p_<name>
+
+
+@dataclass
+class _Stmt:
+    """One emitted statement plus the metadata the optimizer needs."""
+
+    text: str                          # pure-SSA rendering
+    uses: tuple[str, ...] = ()         # local/param names read
+    defs: tuple[str, ...] = ()         # names defined
+    owned: tuple[str, ...] = ()        # defs owning a writable full array
+    clean: bool = False                # dtype provable under the guard
+    arith: tuple | None = None         # (dest, op, argexprs, argnames)
+    donate: str | None = field(default=None, compare=False)
+    conditional_on: str | None = field(default=None, compare=False)
+    partner_is_array: bool = field(default=True, compare=False)
+
+
+def _sanitize_params(source_ids: tuple[str, ...]) -> tuple[str, ...]:
+    used: set[str] = set()
+    params = []
+    for i, source_id in enumerate(source_ids):
+        name = source_id
+        if (not name.isidentifier() or keyword.iskeyword(name)
+                or name.startswith("_") or name in _RESERVED):
+            name = f"a{i}"
+        while name in used:
+            name = f"{name}_{i}"
+        used.add(name)
+        params.append(name)
+    return tuple(params)
+
+
+def _plan_donations(stmts: list[_Stmt], result_names: set[str],
+                    view_sources: set[str],
+                    arrayish: set[str]) -> bool:
+    """Mark, per arithmetic statement, a dead clean operand whose buffer
+    the result may be computed into.  Returns True if any donation was
+    planned."""
+    owned: set[str] = set()
+    clean: set[str] = set()
+    for stmt in stmts:
+        owned.update(stmt.owned)
+        if stmt.clean:
+            clean.update(stmt.defs)
+    # An array with slice views taken of it must never be written
+    # through donation — a view may outlive the name's own last use.
+    owned -= view_sources
+    last_use: dict[str, int] = {}
+    for i, stmt in enumerate(stmts):
+        for name in stmt.uses:
+            last_use[name] = i
+    for name in result_names:
+        last_use[name] = len(stmts)
+
+    any_donated = False
+    for i, stmt in enumerate(stmts):
+        if stmt.arith is None or not stmt.clean:
+            continue
+        dest, op, args, argnames = stmt.arith
+        # A donor must be a value that is certainly an ndarray under the
+        # fast-body guard — const-only subtrees evaluate to Python
+        # floats, which a ufunc cannot write into.
+        candidates = [n for n in argnames
+                      if n in owned and n in clean and n in arrayish
+                      and last_use[n] == i]
+        if not candidates:
+            continue
+        # Prefer a donor whose shape is guaranteed to match the result:
+        # a repeated operand or a scalar-constant partner.
+        others = {n for n in argnames}
+        sure = [n for n in candidates
+                if others == {n} or len(args) == 1]
+        donor = (sure or candidates)[0]
+        stmt.donate = donor
+        if not sure:
+            partner = next(n for n in argnames if n != donor)
+            stmt.conditional_on = partner
+            stmt.partner_is_array = partner in arrayish
+        any_donated = True
+    return any_donated
+
+
+def _render_arith(stmt: _Stmt, inplace: bool) -> str:
+    dest, op, args, _ = stmt.arith
+    if not inplace or stmt.donate is None:
+        if op == "neg":
+            return f"{dest} = -{args[0]}"
+        return f"{dest} = {args[0]} {op} {args[1]}"
+    donor = stmt.donate
+    if stmt.conditional_on is not None:
+        # np.shape() for partners that may be Python scalars at runtime
+        # (e.g. values returned by a registry primitive).
+        partner = (f"{stmt.conditional_on}.shape" if stmt.partner_is_array
+                   else f"np.shape({stmt.conditional_on})")
+        out = f"{donor} if {donor}.shape == {partner} else None"
+    else:
+        out = donor
+    return f"{dest} = {_UFUNC[op]}({', '.join(args)}, out={out})"
+
+
+def generate_sweep(network: Network) -> SweepSource:
+    """Emit the single-function Python source for one network."""
+    spec = network.spec
+    registry = network.registry
+    schedule = network.schedule()
+    output_id = network.output_ids()[0]
+    sources = tuple(network.live_sources())
+    source_ids = set(sources)
+    params = _sanitize_params(sources)
+    param_set = set(params)
+
+    # Node id -> expression referencing its value (a parameter name, a
+    # parenthesized constant literal, or a local variable).
+    val: dict[str, str] = dict(zip(sources, params))
+    # Row-form gradients: node id -> (dx, dy, dz) local names.
+    rows: dict[str, tuple[str, str, str]] = {}
+    stmts: list[_Stmt] = []
+    primitive_names: list[str] = []
+    counter = itertools.count()
+    # Names whose dtype is the shared input dtype whenever the guarded
+    # parameters are dtype-uniform floats (params and everything derived
+    # from them through operators, gradients, and aliasing).
+    clean: set[str] = set(params)
+    # Parameters whose dtype reaches an intermediate; the fast body's
+    # uniform_float guard checks exactly these.
+    checked: list[str] = []
+    # Value-numbering table for commutative CSE over native operators.
+    cse: dict[tuple, str] = {}
+    # Names that have slice views taken of them (never donation targets).
+    view_sources: set[str] = set()
+    # Names certain to hold an ndarray under the fast-body guard (every
+    # parameter that reaches arithmetic is in ``checked``, which the
+    # guard verifies to be proper arrays; const-only subtrees evaluate
+    # to Python floats and stay out).
+    arrayish: set[str] = set(params)
+
+    consumers: dict[str, list[NodeSpec]] = {}
+    for node in schedule:
+        for input_id in node.inputs:
+            consumers.setdefault(input_id, []).append(node)
+
+    def fresh(prefix: str = "t") -> str:
+        return f"{prefix}{next(counter)}"
+
+    def note_checked(name: str) -> None:
+        if name in param_set and name not in checked:
+            checked.append(name)
+
+    def names_of(exprs) -> tuple[str, ...]:
+        return tuple(e for e in exprs if e.isidentifier())
+
+    def needs_aos(node_id: str) -> bool:
+        """A row-form gradient must materialize the padded AoS array when
+        it is the network output or feeds any non-decompose consumer."""
+        if node_id == output_id:
+            return True
+        return any(c.filter != "decompose"
+                   for c in consumers.get(node_id, ()))
+
+    def emit_aos(node_id: str) -> None:
+        r = rows[node_id]
+        name = fresh()
+        is_clean = all(n in clean for n in r)
+        if is_clean:
+            clean.add(name)
+        arrayish.add(name)
+        stmts.append(_Stmt(text=f"{name} = _aos4({r[0]}, {r[1]}, {r[2]})",
+                           uses=r, defs=(name,), owned=(name,),
+                           clean=is_clean))
+        val[node_id] = name
+
+    def emit_rows(node_id: str, row_names: tuple[str, ...],
+                  field_exprs: tuple[str, ...], text: str) -> None:
+        field_names = names_of(field_exprs)
+        is_clean = all(n in clean for n in field_names)
+        if is_clean:
+            clean.update(row_names)
+        arrayish.update(row_names)
+        for n in field_names:
+            note_checked(n)
+        stmts.append(_Stmt(text=text, uses=field_names, defs=row_names,
+                           owned=row_names, clean=is_clean))
+
+    def bind_primitive(name: str) -> str:
+        if name not in primitive_names:
+            primitive_names.append(name)
+        return f"_p_{name}"
+
+    def rows_eligible(node: NodeSpec) -> bool:
+        """Row lowering is only valid for the stock grad3d semantics and
+        needs the mesh arrays available as parameters from the start."""
+        return (node.filter == "grad3d"
+                and registry.get(node.filter).numpy_fn is grad3d_numpy
+                and all(i in source_ids for i in node.inputs[1:]))
+
+    # Gradients of several *source* fields over one shared source mesh
+    # fuse into a single stacked call, emitted at the first member's
+    # schedule position (all of its operands are parameters, so nothing
+    # it needs is defined later).
+    mesh_groups: dict[tuple[str, ...], list[NodeSpec]] = {}
+    for node in schedule:
+        if rows_eligible(node) and node.inputs[0] in source_ids:
+            mesh_groups.setdefault(node.inputs[1:], []).append(node)
+    stacked_at: dict[str, list[NodeSpec]] = {}
+    stacked_member: set[str] = set()
+    for members in mesh_groups.values():
+        if len(members) >= 2:
+            stacked_at[members[0].id] = members
+            stacked_member.update(m.id for m in members)
+
+    for node in schedule:
+        if node.filter == SOURCE:
+            continue
+        if node.filter == CONST:
+            val[node.id] = f"({float(node.param('value'))!r})"
+            continue
+
+        if node.id in stacked_at:
+            members = stacked_at[node.id]
+            row_names: list[str] = []
+            for member in members:
+                r = (fresh("g"), fresh("g"), fresh("g"))
+                rows[member.id] = r
+                row_names.extend(r)
+            field_exprs = tuple(val[m.inputs[0]] for m in members)
+            mesh = ", ".join(val[i] for i in members[0].inputs[1:])
+            emit_rows(node.id, tuple(row_names), field_exprs,
+                      f"{', '.join(row_names)} = "
+                      f"_grad3d_stack(({', '.join(field_exprs)},)"
+                      f", {mesh})")
+            for member in members:
+                if needs_aos(member.id):
+                    emit_aos(member.id)
+            continue
+        if node.id in stacked_member:
+            continue  # emitted with its stack group above
+
+        if rows_eligible(node):
+            r = (fresh("g"), fresh("g"), fresh("g"))
+            rows[node.id] = r
+            args = ", ".join(val[i] for i in node.inputs)
+            emit_rows(node.id, r, (val[node.inputs[0]],),
+                      f"{r[0]}, {r[1]}, {r[2]} = _grad3d_rows({args})")
+            if needs_aos(node.id):
+                emit_aos(node.id)
+            continue
+
+        if node.filter == "decompose":
+            source = node.inputs[0]
+            component = int(node.param("component"))
+            if source in rows:
+                if component < 3:
+                    val[node.id] = rows[source][component]
+                else:
+                    name = fresh()
+                    row = rows[source][0]
+                    if row in clean:
+                        clean.add(name)
+                    arrayish.add(name)
+                    stmts.append(_Stmt(
+                        text=f"{name} = np.zeros_like({row})",
+                        uses=(row,), defs=(name,), owned=(name,),
+                        clean=row in clean))
+                    val[node.id] = name
+            else:
+                name = fresh()
+                src = val[source]
+                src_names = names_of((src,))
+                is_clean = all(n in clean for n in src_names)
+                if is_clean:
+                    clean.add(name)
+                arrayish.add(name)
+                for n in src_names:
+                    note_checked(n)
+                # A slice is a view into its source: never a donation
+                # target (writing through it would corrupt siblings),
+                # and its source must stay read-only too.
+                view_sources.update(src_names)
+                stmts.append(_Stmt(
+                    text=f"{name} = ({src})[:, {component}]",
+                    uses=src_names, defs=(name,), clean=is_clean))
+                val[node.id] = name
+            continue
+
+        primitive = registry.get(node.filter)
+        args = [val[i] for i in node.inputs]
+        binary_op = next((op for p, op in _BINARY_OPS if primitive is p),
+                         None)
+        if binary_op is not None or primitive is NEG:
+            op = binary_op if binary_op is not None else "neg"
+            key = ((op,) + tuple(sorted(args)) if op in _COMMUTATIVE
+                   else (op,) + tuple(args))
+            hit = cse.get(key)
+            if hit is not None:
+                val[node.id] = hit
+                continue
+            name = fresh()
+            argnames = names_of(args)
+            is_clean = all(n in clean for n in argnames)
+            if is_clean:
+                clean.add(name)
+            if any(n in arrayish for n in argnames):
+                arrayish.add(name)
+            for n in argnames:
+                note_checked(n)
+            stmt = _Stmt(text="", uses=argnames, defs=(name,),
+                         owned=(name,), clean=is_clean,
+                         arith=(name, op, tuple(args), argnames))
+            stmt.text = _render_arith(stmt, inplace=False)
+            stmts.append(stmt)
+            cse[key] = name
+            val[node.id] = name
+            continue
+
+        if node.params:
+            raise CodegenError(
+                f"cannot compile primitive {node.filter!r} with "
+                "node parameters")
+        callee = bind_primitive(node.filter)
+        name = fresh()
+        # A registry numpy_fn may return a view or an unrelated dtype:
+        # its result is neither clean nor a donation target.
+        stmts.append(_Stmt(
+            text=f"{name} = {callee}({', '.join(args)})",
+            uses=names_of(tuple(args)), defs=(name,)))
+        val[node.id] = name
+
+    # Output postprocessing mirrors the fusion executor exactly: copy a
+    # bare source (never alias caller arrays), reshape uniforms to 1-D,
+    # force vectors contiguous, broadcast scalar results to full fields.
+    if spec.node(output_id).filter == SOURCE:
+        result = f"{val[output_id]}.copy()"
+    elif network.uniform(output_id):
+        result = f"_uniform({val[output_id]})"
+    elif network.kind_of(output_id) is ResultKind.VECTOR:
+        result = f"_vec({val[output_id]})"
+    else:
+        result = f"_field({val[output_id]})"
+    result_names = set(names_of((val[output_id],)))
+
+    donated = _plan_donations(stmts, result_names, view_sources, arrayish)
+    src_lines = [f"def _sweep({', '.join(params)}):"]
+    if donated and checked:
+        # Fast body: in-place donation, valid whenever every dtype-
+        # contributing input shares one floating dtype; the pure-SSA
+        # body below is the fallback for everything else.
+        guard = ", ".join(checked) + ("," if len(checked) == 1 else "")
+        src_lines.append(f"    if _ufloat(({guard})):")
+        for stmt in stmts:
+            line = (_render_arith(stmt, inplace=True)
+                    if stmt.arith is not None else stmt.text)
+            src_lines.append(f"        {line}")
+        src_lines.append(f"        return {result}")
+    src_lines.extend(f"    {stmt.text}" for stmt in stmts)
+    src_lines.append(f"    return {result}")
+    return SweepSource(source="\n".join(src_lines) + "\n",
+                       params=params,
+                       primitive_names=tuple(primitive_names))

@@ -73,6 +73,10 @@ class StrategyError(ReproError):
     """An execution strategy could not execute the network."""
 
 
+class CodegenError(ReproError):
+    """The compiled executor backend could not lower a network."""
+
+
 class HostInterfaceError(ReproError):
     """Bad inputs handed to the in-situ host interface."""
 

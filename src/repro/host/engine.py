@@ -24,6 +24,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Mapping, Optional, Union
 
 import numpy as np
@@ -31,6 +32,8 @@ import numpy as np
 from ..clsim.device import DeviceSpec, DeviceType
 from ..clsim.environment import CLEnvironment
 from ..clsim.platform import find_device
+from ..codegen import (CompiledPlan, PlanDiskCache, codegen_token,
+                       compile_plan)
 from ..dataflow.network import Network
 from ..dataflow.script import render_script
 from ..errors import HostInterfaceError
@@ -39,7 +42,8 @@ from ..expr.optimize import eliminate_common_subexpressions
 from ..expr.parser import parse
 from ..metrics import get_registry
 from ..primitives.base import PrimitiveRegistry, ResultKind
-from ..strategies import ExecutionReport, ExecutionStrategy, get_strategy
+from ..strategies import (CodegenInfo, ExecutionReport, ExecutionStrategy,
+                          get_strategy)
 from ..strategies.bindings import ArraySpec, Binding, BindingInput
 from ..strategies.plancache import PlanCache, PlanKey, plan_key
 from ..trace import NULL_TRACER, Tracer
@@ -106,14 +110,26 @@ class DerivedFieldEngine:
     released device-buffer reservations.  Dry-run engines and strategies
     without ``build_plan`` (streaming, multi-device) always take the
     uncached fresh-environment path.
+
+    ``backend`` selects the executor: ``"vectorized"`` / ``"interpreted"``
+    run the clsim kernel backends; ``"compiled"`` lowers each cached plan
+    to one generated Python sweep function (DESIGN.md §10), falling back
+    to the interpreter plan when codegen cannot lower the network.
+    ``None`` (default) picks ``"compiled"`` for fusion engines on the
+    cached path and ``"vectorized"`` otherwise.  ``plan_cache_dir``
+    additionally persists compiled plans on disk (a path, or a shared
+    :class:`~repro.codegen.PlanDiskCache` instance) so a restarted
+    process warms without recompiling.
     """
 
     def __init__(self, device: Union[str, DeviceType, DeviceSpec] = "cpu",
                  strategy: Union[str, ExecutionStrategy] = "fusion", *,
                  registry: Optional[PrimitiveRegistry] = None,
                  cse: bool = True, commutative_cse: bool = False,
-                 dry_run: bool = False, backend: str = "vectorized",
+                 dry_run: bool = False, backend: Optional[str] = None,
                  plan_cache: Union[bool, int, PlanCache] = True,
+                 plan_cache_dir: Union[None, str, Path,
+                                       PlanDiskCache] = None,
                  pooling: bool = True, tracer: Optional[Tracer] = None):
         self.device = device
         self.tracer = NULL_TRACER if tracer is None else tracer
@@ -125,7 +141,6 @@ class DerivedFieldEngine:
         self.cse = cse
         self.commutative_cse = commutative_cse
         self.dry_run = dry_run
-        self.backend = backend
         self.pooling = pooling
         if plan_cache is True:
             self.plan_cache: Optional[PlanCache] = PlanCache()
@@ -135,6 +150,28 @@ class DerivedFieldEngine:
             self.plan_cache = PlanCache(int(plan_cache))
         else:
             self.plan_cache = None
+        # The compiled executor lives on the warm plan path; without a
+        # plan cache (or with a strategy that cannot build plans) it has
+        # nowhere to hang, so requests for it downgrade gracefully.
+        can_compile = (self.plan_cache is not None and not dry_run
+                       and hasattr(self.strategy, "build_plan"))
+        if backend is None:
+            backend = ("compiled"
+                       if can_compile and self.strategy.name == "fusion"
+                       else "vectorized")
+        elif backend == "compiled" and not can_compile:
+            backend = "vectorized"
+        self.backend = backend
+        # The clsim Context only knows vectorized/interpreted; compiled
+        # plans replay their captured events on a vectorized environment.
+        self.env_backend = ("vectorized" if backend == "compiled"
+                            else backend)
+        if isinstance(plan_cache_dir, PlanDiskCache):
+            self.plan_disk: Optional[PlanDiskCache] = plan_cache_dir
+        elif plan_cache_dir:
+            self.plan_disk = PlanDiskCache(plan_cache_dir)
+        else:
+            self.plan_disk = None
         self._cache: dict[tuple, CompiledExpression] = {}
         self._env: Optional[CLEnvironment] = None
         # Serializes warm-path execution: the persistent environment's
@@ -173,6 +210,25 @@ class DerivedFieldEngine:
             disposition: (execute_total.labels(cache=disposition),
                           execute_seconds.labels(cache=disposition))
             for disposition in ("hit", "miss", "uncached")
+        }
+        # Compiled-executor observability (DESIGN.md §10): how every plan
+        # the backend needed was obtained, and how often codegen bailed.
+        self._m_codegen = {
+            "compiles": registry.counter(
+                "repro_codegen_compiles_total",
+                "Plans lowered and compiled to a fused Python sweep"),
+            "disk_hits": registry.counter(
+                "repro_codegen_disk_hits_total",
+                "Compiled plans rebuilt from the persistent plan cache"),
+            "disk_misses": registry.counter(
+                "repro_codegen_disk_misses_total",
+                "Persistent plan-cache lookups that found no entry"),
+            "invalidations": registry.counter(
+                "repro_codegen_invalidations_total",
+                "Stale or corrupt persistent plan-cache entries discarded"),
+            "fallbacks": registry.counter(
+                "repro_codegen_fallbacks_total",
+                "Codegen failures that fell back to the interpreter plan"),
         }
 
     # -- compilation -----------------------------------------------------------
@@ -221,7 +277,7 @@ class DerivedFieldEngine:
     def _warm_environment(self) -> CLEnvironment:
         if self._env is None:
             self._env = CLEnvironment(self.device_spec,
-                                      backend=self.backend,
+                                      backend=self.env_backend,
                                       pooling=self.pooling,
                                       tracer=self.tracer)
         return self._env
@@ -274,7 +330,7 @@ class DerivedFieldEngine:
                              strategy=self.strategy.name,
                              device=self.device_spec.name, cached=False):
                 env = CLEnvironment(self.device_spec, dry_run=self.dry_run,
-                                    backend=self.backend, tracer=tracer)
+                                    backend=self.env_backend, tracer=tracer)
                 anchor = tracer.now()
                 with tracer.span("execute", category="engine"):
                     report = self.strategy.execute(
@@ -295,11 +351,16 @@ class DerivedFieldEngine:
                     plan = self.plan_cache.get(prepared.key)
                     hit = plan is not None
                     look.annotate(hit=hit)
+                disposition = "memory-hit"
                 if plan is None:
-                    with tracer.span("plan.build", category="engine"):
-                        plan = self.strategy.build_plan(
-                            prepared.compiled.network, prepared.bindings,
-                            prepared.n, prepared.dtype)
+                    if self.backend == "compiled":
+                        plan, disposition = self._codegen_plan(prepared)
+                    else:
+                        with tracer.span("plan.build", category="engine"):
+                            plan = self.strategy.build_plan(
+                                prepared.compiled.network,
+                                prepared.bindings,
+                                prepared.n, prepared.dtype)
                     self.plan_cache.put(prepared.key, plan)
                 anchor = tracer.now()
                 with tracer.span("plan.launch", category="engine"):
@@ -307,10 +368,64 @@ class DerivedFieldEngine:
                                                   prepared.sources), env)
                 report.cache = self.plan_cache.info(hit)
                 report.alloc = env.alloc_stats()
+                if self.backend == "compiled":
+                    ran_compiled = isinstance(plan, CompiledPlan)
+                    report.codegen = CodegenInfo(
+                        backend=("compiled" if ran_compiled
+                                 else self.env_backend),
+                        disposition=disposition,
+                        compiled=ran_compiled)
                 exec_span.annotate(cache_hit=hit)
                 self._trace_device_run(env, anchor)
                 self._observe_execute("hit" if hit else "miss", start)
                 return report
+
+    def _codegen_plan(self, prepared: PreparedExecution):
+        """Obtain a compiled plan for a cache miss.
+
+        Returns ``(plan, disposition)``: a persisted entry rebuilt from
+        the disk cache (``disk-hit``), a freshly generated-and-compiled
+        sweep (``cold-codegen``), or — when codegen cannot lower the
+        network — the interpreter plan (``interpreter-fallback``), which
+        is still cached so later runs take memory hits.
+        """
+        tracer = self.tracer
+        network = prepared.compiled.network
+        with tracer.span("codegen", category="engine"):
+            token = codegen_token(network.registry)
+            if self.plan_disk is not None:
+                lookup = self.plan_disk.load(prepared.key, token)
+                if lookup.status == "hit":
+                    try:
+                        plan = CompiledPlan.from_entry(lookup.entry,
+                                                       network.registry)
+                    except Exception:
+                        # A structurally valid file the current code
+                        # cannot rebuild — treat like a stale entry.
+                        self.plan_disk.invalidate(prepared.key)
+                        self._m_codegen["invalidations"].inc()
+                        self.plan_cache.record_invalidation()
+                    else:
+                        self._m_codegen["disk_hits"].inc()
+                        return plan, "disk-hit"
+                elif lookup.status == "invalid":
+                    self._m_codegen["invalidations"].inc()
+                    self.plan_cache.record_invalidation()
+                else:
+                    self._m_codegen["disk_misses"].inc()
+            with tracer.span("plan.build", category="engine"):
+                base = self.strategy.build_plan(
+                    network, prepared.bindings, prepared.n, prepared.dtype)
+            try:
+                plan = compile_plan(base, network, prepared.bindings,
+                                    self.device_spec)
+            except Exception:
+                self._m_codegen["fallbacks"].inc()
+                return base, "interpreter-fallback"
+            self._m_codegen["compiles"].inc()
+            if self.plan_disk is not None:
+                self.plan_disk.store(prepared.key, token, plan.entry())
+            return plan, "cold-codegen"
 
     def _observe_execute(self, disposition: str, start: float) -> None:
         counter, histogram = self._m_execute[disposition]

@@ -15,6 +15,7 @@ that backs simulated execution.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -116,13 +117,48 @@ class PrimitiveRegistry:
 
     def __init__(self):
         self._by_name: dict[str, Primitive] = {}
+        self._fingerprint: Optional[str] = None
 
     def register(self, primitive: Primitive) -> Primitive:
         if primitive.name in self._by_name:
             raise PrimitiveError(
                 f"primitive {primitive.name!r} already registered")
         self._by_name[primitive.name] = primitive
+        self._fingerprint = None
         return primitive
+
+    def fingerprint(self) -> str:
+        """A stable content hash of every registered primitive.
+
+        Folded into :class:`~repro.strategies.plancache.PlanKey` and the
+        on-disk plan cache's validity token: adding a primitive or
+        changing one's implementation (its ``numpy_fn`` bytecode)
+        changes the fingerprint, so plans compiled against the old
+        registry — in memory or persisted by an earlier process — miss
+        instead of replaying stale semantics.  Memoized; registries are
+        append-only via :meth:`register`, which resets the memo.
+        """
+        if self._fingerprint is None:
+            parts = []
+            for name in sorted(self._by_name):
+                primitive = self._by_name[name]
+                fn = primitive.numpy_fn
+                if fn is None:
+                    impl = "none"
+                else:
+                    code = getattr(fn, "__code__", None)
+                    if code is not None:
+                        # Bytecode is deterministic per Python version
+                        # and captures lambda bodies, unlike repr().
+                        impl = code.co_code.hex()
+                    else:
+                        impl = getattr(fn, "__name__", repr(fn))
+                parts.append((name, primitive.arity,
+                              primitive.result_kind.name,
+                              primitive.call_style.name, impl))
+            digest = hashlib.sha256(repr(parts).encode()).hexdigest()
+            self._fingerprint = digest[:16]
+        return self._fingerprint
 
     def get(self, name: str) -> Primitive:
         try:

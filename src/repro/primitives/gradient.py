@@ -40,7 +40,14 @@ def cell_centers(points: np.ndarray) -> np.ndarray:
 def _axis_derivative(f: np.ndarray, centers: np.ndarray,
                      axis: int) -> np.ndarray:
     """Central differences in the interior, one-sided at the boundary,
-    with respect to non-uniform cell-center coordinates."""
+    with respect to non-uniform cell-center coordinates.
+
+    Each difference is computed straight into a view of the output
+    (subtract, then divide in place) instead of through full-size
+    temporaries — the same operations in the same order, so results stay
+    bitwise identical, but with two array passes per region instead of
+    three and no intermediate allocations.
+    """
     n = f.shape[axis]
     out = np.empty_like(f)
 
@@ -54,21 +61,22 @@ def _axis_derivative(f: np.ndarray, centers: np.ndarray,
         shape[axis] = -1
         return centers[sl].reshape(shape)
 
+    def diff_into(target, hi, lo, c_hi, c_lo):
+        np.subtract(f[ix(hi)], f[ix(lo)], out=target)
+        np.divide(target, shape_c(c_hi) - shape_c(c_lo), out=target)
+
     if n == 1:
         out[...] = 0.0
         return out
     # interior: (f[i+1] - f[i-1]) / (c[i+1] - c[i-1])
     if n > 2:
-        out[ix(slice(1, -1))] = (
-            (f[ix(slice(2, None))] - f[ix(slice(None, -2))])
-            / (shape_c(slice(2, None)) - shape_c(slice(None, -2))))
+        diff_into(out[ix(slice(1, -1))], slice(2, None), slice(None, -2),
+                  slice(2, None), slice(None, -2))
     # boundaries: first-order one-sided
-    out[ix(slice(0, 1))] = (
-        (f[ix(slice(1, 2))] - f[ix(slice(0, 1))])
-        / (shape_c(slice(1, 2)) - shape_c(slice(0, 1))))
-    out[ix(slice(n - 1, n))] = (
-        (f[ix(slice(n - 1, n))] - f[ix(slice(n - 2, n - 1))])
-        / (shape_c(slice(n - 1, n)) - shape_c(slice(n - 2, n - 1))))
+    diff_into(out[ix(slice(0, 1))], slice(1, 2), slice(0, 1),
+              slice(1, 2), slice(0, 1))
+    diff_into(out[ix(slice(n - 1, n))], slice(n - 1, n), slice(n - 2, n - 1),
+              slice(n - 1, n), slice(n - 2, n - 1))
     return out
 
 

@@ -41,6 +41,7 @@ from typing import Mapping, Optional, Sequence, Union
 import numpy as np
 
 from ..clsim.device import DeviceSpec, DeviceType
+from ..codegen import PlanDiskCache
 from ..errors import ServiceClosed
 from ..metrics import MetricsRegistry
 from ..strategies.bindings import BindingInput
@@ -67,7 +68,10 @@ class DerivedFieldService:
     worker runs (fusion by default).  ``queue_depth`` bounds the
     admission queue; ``default_timeout`` (seconds) applies to requests
     submitted without an explicit one; ``affinity_slack`` tunes how far
-    plan-locality may override least-loaded placement.
+    plan-locality may override least-loaded placement.  ``backend`` and
+    ``plan_cache_dir`` pass through to every worker's engine: the default
+    compiled executor plus one shared on-disk plan cache, so a restarted
+    service warms without recompiling (DESIGN.md §10).
 
     Use as a context manager (``with DerivedFieldService(...) as svc:``)
     or call :meth:`close` explicitly — close drains by default.
@@ -81,7 +85,8 @@ class DerivedFieldService:
                  plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
                  default_timeout: Optional[float] = None,
                  affinity_slack: int = 1,
-                 backend: str = "vectorized",
+                 backend: Optional[str] = None,
+                 plan_cache_dir=None,
                  start: bool = True,
                  tracer: Optional[Tracer] = None,
                  metrics_registry: Optional[MetricsRegistry] = None):
@@ -89,6 +94,12 @@ class DerivedFieldService:
             raise ValueError("service needs at least one device")
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.plan_cache = PlanCache(plan_cache_size)
+        # One shared disk cache: any worker's cold codegen persists the
+        # plan, and a restarted service warms from it on first touch.
+        if plan_cache_dir is not None and \
+                not isinstance(plan_cache_dir, PlanDiskCache):
+            plan_cache_dir = PlanDiskCache(plan_cache_dir)
+        self.plan_disk: Optional[PlanDiskCache] = plan_cache_dir
         # Default: a private registry, so snapshot() describes exactly
         # this instance.  Pass repro.metrics.get_registry() to expose the
         # service on the process-wide /metrics endpoint instead.
@@ -100,7 +111,7 @@ class DerivedFieldService:
         self.workers = [
             DeviceWorker(i, device, strategy, self.plan_cache,
                          self.metrics, self._request_done, backend=backend,
-                         tracer=self.tracer)
+                         tracer=self.tracer, plan_cache_dir=self.plan_disk)
             for i, device in enumerate(devices)
         ]
         # Requests are prepared (compiled, validated, keyed) through the

@@ -49,10 +49,12 @@ class DeviceWorker:
                  strategy: str, plan_cache: PlanCache,
                  metrics: ServiceMetrics,
                  on_done: Callable[[ServiceRequest], None],
-                 backend: str = "vectorized", tracer=None):
+                 backend: Optional[str] = None, tracer=None,
+                 plan_cache_dir=None):
         self.index = index
         self.engine = DerivedFieldEngine(
             device=device, strategy=strategy, plan_cache=plan_cache,
+            plan_cache_dir=plan_cache_dir,
             pooling=True, backend=backend, tracer=tracer)
         token = device if isinstance(device, str) else \
             self.engine.device_spec.device_type.value

@@ -7,7 +7,8 @@ subclass :class:`~repro.strategies.base.ExecutionStrategy` without touching
 any primitive — the paper's extensibility claim.
 """
 
-from .base import ExecutionReport, ExecutionStrategy, ctype_for
+from .base import CodegenInfo, ExecutionReport, ExecutionStrategy, \
+    ctype_for
 from .bindings import ArraySpec, Binding, normalize, problem_size
 from .chunking import Chunk, MeshLayout, discover_mesh, plan_chunks
 from .fusion import FusedStage, FusionPlan, FusionStrategy, plan_stages
@@ -42,7 +43,7 @@ def get_strategy(name: str) -> ExecutionStrategy:
 
 
 __all__ = [
-    "ExecutionReport", "ExecutionStrategy", "ctype_for",
+    "CodegenInfo", "ExecutionReport", "ExecutionStrategy", "ctype_for",
     "ArraySpec", "Binding", "normalize", "problem_size",
     "Chunk", "MeshLayout", "discover_mesh", "plan_chunks",
     "FusedStage", "FusionPlan", "FusionStrategy", "plan_stages",

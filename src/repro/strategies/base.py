@@ -31,7 +31,8 @@ from ..primitives.base import Primitive, ResultKind, VECTOR_WIDTH
 from .bindings import ArraySpec, Binding, BindingInput, normalize, \
     problem_size
 
-__all__ = ["ExecutionReport", "ExecutionStrategy", "ctype_for"]
+__all__ = ["CodegenInfo", "ExecutionReport", "ExecutionStrategy",
+           "ctype_for"]
 
 
 def ctype_for(dtype: np.dtype) -> str:
@@ -41,6 +42,23 @@ def ctype_for(dtype: np.dtype) -> str:
     if np.dtype(dtype) == np.float32:
         return "float"
     raise StrategyError(f"unsupported field dtype {dtype}")
+
+
+@dataclass(frozen=True)
+class CodegenInfo:
+    """How the compiled executor backend handled one execution.
+
+    ``disposition`` is one of ``memory-hit`` (plan served from the
+    in-memory cache), ``disk-hit`` (rebuilt from the persistent plan
+    cache), ``cold-codegen`` (generated and compiled this run), or
+    ``interpreter-fallback`` (codegen failed; the interpreter plan ran
+    and was cached).  ``compiled`` says whether the plan that actually
+    ran was a compiled sweep.
+    """
+
+    backend: str
+    disposition: str
+    compiled: bool
 
 
 @dataclass
@@ -72,6 +90,7 @@ class ExecutionReport:
     cache: "Optional[CacheInfo]" = None
     alloc: Optional[AllocationStats] = None
     device_reports: "tuple[DeviceReport, ...]" = ()
+    codegen: Optional[CodegenInfo] = None
 
     # -- stable JSON round-trip ----------------------------------------------
 
@@ -101,6 +120,8 @@ class ExecutionReport:
                  "timing": asdict(d.timing),
                  "mem_high_water": d.mem_high_water}
                 for d in self.device_reports],
+            "codegen": (None if self.codegen is None
+                        else asdict(self.codegen)),
         }
 
     @classmethod
@@ -133,6 +154,8 @@ class ExecutionReport:
                              timing=timing(d["timing"]),
                              mem_high_water=d["mem_high_water"])
                 for d in data.get("device_reports", ())),
+            codegen=(None if data.get("codegen") is None
+                     else CodegenInfo(**data["codegen"])),
         )
 
 

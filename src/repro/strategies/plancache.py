@@ -46,10 +46,16 @@ from ..primitives.base import ResultKind, VECTOR_WIDTH
 from .base import ExecutionReport
 from .bindings import Binding
 
-__all__ = ["ExecutablePlan", "PlanKey", "PlanCache", "CacheInfo",
-           "network_signature", "plan_key"]
+__all__ = ["CODEGEN_VERSION", "ExecutablePlan", "PlanKey", "PlanCache",
+           "CacheInfo", "network_signature", "plan_key"]
 
 DEFAULT_PLAN_CACHE_SIZE = 32
+
+# Version of the compiled-executor code generator (repro.codegen).  Bump
+# whenever generated sweep semantics change: the value is folded into the
+# on-disk plan cache's validity token, so persisted entries from an older
+# generator self-invalidate instead of being replayed.
+CODEGEN_VERSION = 2
 
 
 def network_signature(network: Network) -> tuple[str, tuple[str, ...]]:
@@ -105,6 +111,11 @@ class PlanKey:
     source_shapes: tuple
     device: tuple
     backend: str
+    # Primitive-registry content fingerprint: redefining a primitive
+    # changes the key, so both the in-memory cache and the on-disk cache
+    # (which names its files by this key's hash) miss instead of
+    # replaying a plan built against different primitive semantics.
+    fingerprint: str = ""
 
     def for_device(self, device) -> "PlanKey":
         """This key re-targeted at another device — everything but the
@@ -130,6 +141,7 @@ def plan_key(network: Network, strategy, bindings: Mapping[str, Binding],
         source_shapes=shapes,
         device=(device.name, device.global_mem_bytes),
         backend=backend,
+        fingerprint=network.registry.fingerprint(),
     )
     return key, sources
 
@@ -144,6 +156,7 @@ class CacheInfo:
     evictions: int
     size: int
     maxsize: int
+    invalidations: int = 0   # stale on-disk entries discarded
 
 
 class PlanCache:
@@ -167,6 +180,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
         # Registry mirror: process-wide hit/miss/evict counters
         # (cumulative across every cache instance; per-cache exactness
         # stays on the instance counters above, surfaced via CacheInfo).
@@ -180,6 +194,9 @@ class PlanCache:
         self._m_evictions = registry.counter(
             "repro_plancache_evictions_total",
             "Cached plans evicted by the LRU bound")
+        self._m_invalidations = registry.counter(
+            "repro_plancache_invalidations_total",
+            "Stale or corrupt persisted plan entries discarded")
 
     def get(self, key: PlanKey) -> "Optional[ExecutablePlan]":
         with self._lock:
@@ -202,11 +219,19 @@ class PlanCache:
                 self.evictions += 1
                 self._m_evictions.inc()
 
+    def record_invalidation(self) -> None:
+        """Count one discarded stale/corrupt persisted plan entry (the
+        disk layer's analogue of an eviction)."""
+        with self._lock:
+            self.invalidations += 1
+            self._m_invalidations.inc()
+
     def info(self, hit: bool) -> CacheInfo:
         with self._lock:
             return CacheInfo(hit=hit, hits=self.hits, misses=self.misses,
                              evictions=self.evictions,
-                             size=len(self._plans), maxsize=self.maxsize)
+                             size=len(self._plans), maxsize=self.maxsize,
+                             invalidations=self.invalidations)
 
     def clear(self) -> None:
         with self._lock:

@@ -1,0 +1,15 @@
+"""Shared fixtures for the compiled-executor tests."""
+
+import pytest
+
+from repro.metrics import MetricsRegistry, set_registry
+
+
+@pytest.fixture
+def registry():
+    """A fresh default metrics registry; engines built inside the test
+    bind to it, and the process-wide one is restored afterwards."""
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    yield registry
+    set_registry(previous)

@@ -1,0 +1,73 @@
+"""The primitive-registry fingerprint: the version token that makes
+cached plans — in memory and on disk — self-invalidate when the
+primitive library changes."""
+
+import numpy as np
+
+from repro.codegen import codegen_token
+from repro.host.engine import DerivedFieldEngine
+from repro.primitives.base import (CallStyle, Primitive, ResultKind)
+from repro.primitives.registry import default_registry
+from repro.strategies import plancache
+
+
+def _toy_primitive(name="toyprim"):
+    return Primitive(
+        name=name, arity=1, result_kind=ResultKind.SCALAR,
+        call_style=CallStyle.ELEMENTWISE, flops_per_element=1,
+        cl_name=f"repro_{name}",
+        cl_source="{T} repro_" + name + "({T} a) {{ return a; }}",
+        cl_call="repro_" + name + "({a0})",
+        numpy_fn=np.asarray)
+
+
+class TestFingerprint:
+    def test_memoized_and_stable(self):
+        registry = default_registry()
+        first = registry.fingerprint()
+        assert registry.fingerprint() is first
+        assert default_registry().fingerprint() == first
+
+    def test_register_changes_fingerprint(self):
+        registry = default_registry()
+        before = registry.fingerprint()
+        registry.register(_toy_primitive())
+        after = registry.fingerprint()
+        assert after != before
+
+    def test_implementation_change_changes_fingerprint(self):
+        a, b = default_registry(), default_registry()
+        a.register(_toy_primitive())
+        prim = _toy_primitive()
+        object.__setattr__(prim, "numpy_fn", lambda x: x + 1)
+        b.register(prim)
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestKeysCarryTheFingerprint:
+    def test_plan_key_is_populated(self, small_fields):
+        engine = DerivedFieldEngine(device="cpu", strategy="fusion")
+        prepared = engine.prepare("a = u + v", small_fields)
+        network = prepared.compiled.network
+        assert prepared.key.fingerprint == network.registry.fingerprint()
+
+    def test_registry_change_changes_plan_key(self, small_fields):
+        registry = default_registry()
+        base = DerivedFieldEngine(device="cpu", strategy="fusion",
+                                  registry=registry)
+        key_before = base.prepare("a = u + v", small_fields).key
+        extended = default_registry()
+        extended.register(_toy_primitive())
+        other = DerivedFieldEngine(device="cpu", strategy="fusion",
+                                   registry=extended)
+        key_after = other.prepare("a = u + v", small_fields).key
+        assert key_before != key_after
+        assert key_before.fingerprint != key_after.fingerprint
+
+    def test_codegen_token_tracks_version(self, monkeypatch):
+        registry = default_registry()
+        token = codegen_token(registry)
+        assert registry.fingerprint() in token
+        monkeypatch.setattr(plancache, "CODEGEN_VERSION",
+                            plancache.CODEGEN_VERSION + 1)
+        assert codegen_token(registry) != token

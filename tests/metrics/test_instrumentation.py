@@ -35,9 +35,10 @@ def inputs():
     return {k: fields[k] for k in EXPRESSION_INPUTS["q_criterion"]}
 
 
-def warm_run(registry, inputs, strategy, device="gpu"):
+def warm_run(registry, inputs, strategy, device="gpu", backend=None):
     """Cold + warm q_criterion execute; returns (engine, warm report)."""
-    engine = DerivedFieldEngine(device=device, strategy=strategy)
+    engine = DerivedFieldEngine(device=device, strategy=strategy,
+                                backend=backend)
     compiled = engine.compile(EXPRESSIONS["q_criterion"])
     engine.execute(compiled, inputs)
     report = engine.execute(compiled, inputs)
@@ -126,7 +127,10 @@ class TestCacheAndPoolFamilies:
         assert registry.value("repro_plancache_hits_total") == 1
 
     def test_pool_reuse_on_warm_run(self, registry, inputs):
-        engine, _ = warm_run(registry, inputs, "fusion")
+        # Pinned to the interpreter backend: compiled plans never touch
+        # device buffers, so only interpreter runs exercise the pool.
+        engine, _ = warm_run(registry, inputs, "fusion",
+                             backend="vectorized")
         device = engine.device_spec.name
         # The warm run acquires every buffer from the pool.
         assert registry.value("repro_clsim_pool_hits_total",

@@ -182,7 +182,10 @@ class TestEngineWarmPath:
             np.testing.assert_array_equal(out, u * u + v)
 
     def test_pool_recycles_reservations(self, small_fields):
-        engine = DerivedFieldEngine(device="cpu", strategy="fusion")
+        # Pinned to the interpreter backend: compiled plans never touch
+        # device buffers, so only interpreter runs exercise the pool.
+        engine = DerivedFieldEngine(device="cpu", strategy="fusion",
+                                    backend="vectorized")
         engine.execute(vortex.VELOCITY_MAGNITUDE, small_fields)
         report = engine.execute(vortex.VELOCITY_MAGNITUDE, small_fields)
         alloc = report.alloc
