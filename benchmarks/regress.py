@@ -20,7 +20,13 @@ normalized data point — ``BENCH_<n>.json`` — to the perf trajectory in
 * **codegen** — the compiled-executor acceptance gates: warm compiled
   fusion must beat the pinned interpreter case by >= 1.5x wall with
   bitwise-identical output, and a fresh engine against a populated
-  plan-cache directory must warm with zero codegen compiles.
+  plan-cache directory must warm with zero codegen compiles;
+* **batching** — the micro-batching acceptance gate (ISSUE 9): at a
+  deterministic batchable load (presubmitted same-expression backlog),
+  batched dispatch (``max_batch=8``) must sustain >= 1.3x the modeled
+  throughput of unbatched dispatch (``max_batch=1``) on fusion
+  q_criterion.  Both runs drain a stopped-then-started service, so the
+  modeled ratio is deterministic and safe to hard-gate.
 
 The new artifact is diffed against the previous ``BENCH_<n-1>.json``:
 a *hard-gated* metric (modeled seconds, peak device bytes — both
@@ -196,13 +202,18 @@ def bench_codegen_restart() -> dict:
 
 
 def bench_service(requests: int, clients: int) -> dict:
-    """A small closed-loop run against the concurrent service."""
-    from repro.service import DerivedFieldService, default_cases, run_load
+    """A small closed-loop run against the concurrent service.
+
+    Pinned to ``max_batch=1``: the trajectory metric is per-request
+    serving cost, which opportunistic closed-loop coalescing would
+    turn nondeterministic (batching has its own gate, below).
+    """
+    from repro.service import build_service, default_cases, run_load
 
     fields = make_fields(WARM_GRID, seed=0)
     cases = default_cases(fields, ["q_criterion"])
     start = time.perf_counter()
-    with DerivedFieldService(devices=("cpu",)) as service:
+    with build_service(("cpu",), max_batch=1) as service:
         load = run_load(service, cases, clients=clients, requests=requests)
         snapshot = service.snapshot()
     wall = time.perf_counter() - start
@@ -216,6 +227,15 @@ def bench_service(requests: int, clients: int) -> dict:
             "requests": requests,
         },
     }
+
+
+def bench_batching() -> dict:
+    """The micro-batching acceptance ratio (deterministic; see
+    ``bench_service.run_batching_bench``)."""
+    import bench_service as service_bench
+
+    return service_bench.run_batching_bench(
+        service_bench.SMOKE_BATCH_REQUESTS)
 
 
 def bench_fig5_subset() -> dict:
@@ -445,6 +465,8 @@ def main(argv=None) -> int:
     headtohead = bench_compiled_speedup(args.rounds)
     print("codegen disk-cache restart ...")
     restart = bench_codegen_restart()
+    print("micro-batched vs unbatched service dispatch ...")
+    batching = bench_batching()
 
     if args.synthetic_slowdown:
         # Inflate measured AND modeled times: modeled_s is deterministic,
@@ -472,6 +494,7 @@ def main(argv=None) -> int:
         "registry_overhead": overhead,
         "codegen_speedup": headtohead,
         "codegen_restart": restart,
+        "batching": batching,
         "cases": cases,
     }
     args.results_dir.mkdir(parents=True, exist_ok=True)
@@ -531,6 +554,19 @@ def main(argv=None) -> int:
               f"{restart['restart']['first_execute_wall_s'] * 1e3:.1f} ms "
               f"vs cold "
               f"{restart['cold']['first_execute_wall_s'] * 1e3:.1f} ms)")
+
+    # Micro-batching acceptance gate (ISSUE 9): coalesced dispatch must
+    # sustain >= 1.3x the unbatched modeled throughput at batchable
+    # load.  Deterministic (presubmitted backlog), so hard-gated.
+    batch_ratio = batching["batched_speedup_modeled"]
+    batch_stats = batching["batched"]["batching"]
+    print(f"batched dispatch modeled throughput: {batch_ratio:.2f}x "
+          f"unbatched (mean batch {batch_stats['mean_batch_size']:.1f} "
+          f"over {batch_stats['coalesced_launches']} coalesced launches)")
+    if batch_ratio < batching["floor"]:
+        print(f"BATCHED THROUGHPUT {batch_ratio:.2f}x below the "
+              f"{batching['floor']}x acceptance bar", file=sys.stderr)
+        failed = True
 
     return 1 if failed else 0
 

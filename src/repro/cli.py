@@ -223,7 +223,7 @@ def cmd_plan(args) -> int:
 def cmd_serve(args) -> int:
     import json
 
-    from .service import (DerivedFieldService, default_cases,
+    from .service import (build_service, default_cases,
                           format_load_report, run_load)
 
     devices = [d.strip() for d in args.devices.split(",") if d.strip()]
@@ -258,20 +258,25 @@ def cmd_serve(args) -> int:
               f"(Prometheus text) and "
               f"{metrics_server.url('/metrics.json')}")
 
+    mode = "open" if args.open_loop else "closed"
     print(f"serving {sorted({c.name for c in cases})} over "
           f"{grid.n_cells:,} cells on devices {devices} "
-          f"({args.strategy}), queue depth {args.queue_depth}")
+          f"({args.strategy}), queue depth {args.queue_depth}, "
+          f"max batch {args.max_batch}")
     try:
-        with DerivedFieldService(devices=devices, strategy=args.strategy,
-                                 queue_depth=args.queue_depth,
-                                 default_timeout=args.timeout,
-                                 backend=args.backend,
-                                 plan_cache_dir=args.plan_cache_dir,
-                                 tracer=tracer,
-                                 metrics_registry=metrics_registry,
-                                 ) as service:
+        with build_service(devices=devices, strategy=args.strategy,
+                           queue_depth=args.queue_depth,
+                           default_timeout=args.timeout,
+                           backend=args.backend,
+                           plan_cache_dir=args.plan_cache_dir,
+                           max_batch=args.max_batch,
+                           batch_window=args.batch_window,
+                           tracer=tracer,
+                           metrics_registry=metrics_registry,
+                           ) as service:
             report = run_load(service, cases, clients=args.clients,
-                              requests=args.requests)
+                              requests=args.requests, mode=mode,
+                              rate_rps=args.rate)
             snapshot = service.snapshot()
     finally:
         if metrics_server is not None:
@@ -370,6 +375,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "rejected with backpressure (default 64)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-request deadline in seconds (default none)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="coalesce up to this many queued same-plan "
+                        "requests into one batched device launch "
+                        "(1 disables micro-batching; default 8)")
+    p.add_argument("--batch-window", type=float, default=0.0,
+                   help="seconds the dispatcher may linger for same-plan "
+                        "followers before launching a partial batch "
+                        "(bounded by request deadlines; default 0)")
+    p.add_argument("--open-loop", action="store_true",
+                   help="submit the whole request stream without waiting "
+                        "for outcomes (arrivals independent of service "
+                        "speed; --clients is ignored)")
+    p.add_argument("--rate", type=float, default=None, metavar="RPS",
+                   help="pace open-loop arrivals at this rate "
+                        "(default: as fast as possible)")
     p.add_argument("--expressions", default=None,
                    help="comma list of paper expressions to serve "
                         "(default: all three)")

@@ -42,6 +42,12 @@ class TimingSummary:
     device_to_host: float
     build: float
     wall: float
+    # Timeline end: latest modeled completion across the event log.  On
+    # the serial in-order queue this equals ``total`` + build; under the
+    # overlapped streaming timeline (transfers of chunk k+1 behind the
+    # compute of chunk k) it is strictly smaller — the double-buffering
+    # win is exactly ``total + build - makespan``.
+    makespan: float = 0.0
 
     @property
     def total(self) -> float:
@@ -66,6 +72,28 @@ class CLEnvironment:
                                backend=backend, pooling=pooling,
                                registry=registry)
         self.queue = CommandQueue(self.context, registry=registry)
+
+    def capture(self) -> "CLEnvironment":
+        """A capture twin of this environment: the *same* context
+        (allocator, buffer pool, dry-run mode — so buffers and pooled
+        reuse behave exactly as a run on this environment would) but a
+        private, registry-silent command queue.
+
+        Batched and pipelined execution run each member/chunk against a
+        capture twin to obtain its solo event stream, then rewrite the
+        streams (:mod:`repro.clsim.pipeline`) into this environment's
+        log — recording modeled events exactly once, on the merged
+        timeline, so process-wide counters see the batched semantics.
+        """
+        from ..metrics import NULL_REGISTRY
+
+        twin = object.__new__(CLEnvironment)
+        twin.device = self.device
+        twin.dry_run = self.dry_run
+        twin.tracer = NULL_TRACER
+        twin.context = self.context
+        twin.queue = CommandQueue(self.context, registry=NULL_REGISTRY)
+        return twin
 
     # -- buffers -------------------------------------------------------------
 
@@ -101,6 +129,8 @@ class CLEnvironment:
             device_to_host=log.sim_time([EventKind.DEV_READ]),
             build=log.sim_time([EventKind.BUILD]),
             wall=log.wall_time(),
+            makespan=max(((e.ts_seconds or 0.0) + e.sim_seconds
+                          for e in log.events), default=0.0),
         )
 
     @property

@@ -21,6 +21,15 @@ Two throughput figures come out:
   strategy's aggregation).  This is the figure that must scale with
   device count — the service analogue of Fig 5's per-device timing.
 
+Two load shapes are supported: the default **closed loop** above, and an
+**open loop** (``mode="open"``) where a single submitter offers requests
+at a fixed rate (or as fast as it can) *without* waiting for outcomes —
+the arrival process is independent of service speed, so bursts pile up
+in the admission queue and the dispatcher's micro-batching has same-plan
+neighbors to coalesce.  Open-loop is how batchable load actually arrives
+(many in-situ producers per timestep), and it is the mode the
+batched-throughput benchmark drives.
+
 Every request resolves to exactly one of served / rejected / timed-out /
 failed / cancelled; :func:`run_load` counts them and reports
 ``dropped = requests - resolved``, which a healthy service keeps at 0.
@@ -39,7 +48,39 @@ from ..errors import ReproError, RequestCancelled, RequestTimedOut, \
     ServiceOverloaded
 from .service import DerivedFieldService
 
-__all__ = ["LoadCase", "default_cases", "run_load", "format_load_report"]
+__all__ = ["LoadCase", "build_service", "default_cases", "run_load",
+           "format_load_report"]
+
+
+def build_service(devices: Sequence = ("cpu",),
+                  strategy: str = "fusion", *,
+                  backend: Optional[str] = None,
+                  plan_cache_dir=None,
+                  max_batch: int = 8,
+                  batch_window: float = 0.0,
+                  queue_depth: Optional[int] = None,
+                  default_timeout: Optional[float] = None,
+                  start: bool = True,
+                  tracer=None,
+                  metrics_registry=None) -> DerivedFieldService:
+    """Construct a :class:`DerivedFieldService` with the *same* engine-
+    option spelling the engine and ``derive`` CLI use.
+
+    One signature for every entry point — ``DerivedFieldService``
+    directly, ``python -m repro serve``, and benchmark drivers — so
+    ``backend=`` / ``plan_cache_dir=`` / ``max_batch=`` mean the same
+    thing everywhere instead of three ad-hoc spellings.  ``queue_depth``
+    defaults to the service's own default when ``None``.
+    """
+    kwargs: dict = {}
+    if queue_depth is not None:
+        kwargs["queue_depth"] = queue_depth
+    return DerivedFieldService(
+        devices=devices, strategy=strategy, backend=backend,
+        plan_cache_dir=plan_cache_dir, max_batch=max_batch,
+        batch_window=batch_window, default_timeout=default_timeout,
+        start=start, tracer=tracer, metrics_registry=metrics_registry,
+        **kwargs)
 
 
 class LoadCase:
@@ -68,9 +109,22 @@ def default_cases(fields: Mapping[str, np.ndarray],
 
 def run_load(service: DerivedFieldService, cases: Sequence[LoadCase], *,
              clients: int, requests: int,
-             timeout: Optional[float] = None) -> dict:
-    """Drive ``requests`` total requests through ``clients`` closed-loop
-    client threads; returns the JSON-able load report."""
+             timeout: Optional[float] = None,
+             mode: str = "closed",
+             rate_rps: Optional[float] = None) -> dict:
+    """Drive ``requests`` total requests through the service; returns the
+    JSON-able load report.
+
+    ``mode="closed"`` (default): ``clients`` threads each submit, block
+    for the outcome, and immediately submit the next — load self-limits
+    to service capacity.  ``mode="open"``: one submitter offers the whole
+    stream without waiting (paced at ``rate_rps`` when given, else as
+    fast as it can), then collects every outcome — arrivals are
+    independent of service speed, which is what queues up the same-plan
+    neighbors micro-batching coalesces.  ``clients`` is ignored open-loop.
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"load mode must be 'closed' or 'open': {mode!r}")
     if clients < 1:
         raise ValueError(f"need at least one client: {clients}")
     if not cases:
@@ -90,6 +144,17 @@ def run_load(service: DerivedFieldService, cases: Sequence[LoadCase], *,
 
     outcomes = ["unresolved"] * requests
 
+    def settle(index: int, handle) -> None:
+        try:
+            handle.result()
+            outcomes[index] = "served"
+        except RequestTimedOut:
+            outcomes[index] = "timed_out"
+        except RequestCancelled:
+            outcomes[index] = "cancelled"
+        except ReproError:
+            outcomes[index] = "failed"
+
     def client_loop() -> None:
         while True:
             index = take_index()
@@ -102,25 +167,44 @@ def run_load(service: DerivedFieldService, cases: Sequence[LoadCase], *,
             except ServiceOverloaded:
                 outcomes[index] = "rejected"
                 continue
-            try:
-                handle.result()
-                outcomes[index] = "served"
-            except RequestTimedOut:
-                outcomes[index] = "timed_out"
-            except RequestCancelled:
-                outcomes[index] = "cancelled"
-            except ReproError:
-                outcomes[index] = "failed"
+            settle(index, handle)
 
-    threads = [threading.Thread(target=client_loop,
-                                name=f"repro-client-{i}", daemon=True)
-               for i in range(clients)]
-    start = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    wall = time.perf_counter() - start
+    def open_loop() -> float:
+        """Submit everything, then collect; returns the wall time."""
+        handles: "list[tuple[int, object]]" = []
+        interval = 1.0 / rate_rps if rate_rps else 0.0
+        begin = time.perf_counter()
+        next_at = time.monotonic()
+        for index in range(requests):
+            if interval:
+                now = time.monotonic()
+                if next_at > now:
+                    time.sleep(next_at - now)
+                next_at += interval
+            case = cases[index % len(cases)]
+            try:
+                handle = service.submit(case.expression, case.fields,
+                                        timeout=timeout)
+            except ServiceOverloaded:
+                outcomes[index] = "rejected"
+                continue
+            handles.append((index, handle))
+        for index, handle in handles:
+            settle(index, handle)
+        return time.perf_counter() - begin
+
+    if mode == "open":
+        wall = open_loop()
+    else:
+        threads = [threading.Thread(target=client_loop,
+                                    name=f"repro-client-{i}", daemon=True)
+                   for i in range(clients)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
 
     snapshot = service.snapshot()
     tally = {status: outcomes.count(status)
@@ -131,7 +215,8 @@ def run_load(service: DerivedFieldService, cases: Sequence[LoadCase], *,
         (dev["modeled_seconds"] for dev in snapshot["devices"].values()),
         default=0.0)
     return {
-        "clients": clients,
+        "mode": mode,
+        "clients": 1 if mode == "open" else clients,
         "requests": requests,
         "outcomes": tally,
         "dropped": outcomes.count("unresolved"),
@@ -142,6 +227,7 @@ def run_load(service: DerivedFieldService, cases: Sequence[LoadCase], *,
                                    if modeled_makespan > 0 else 0.0),
         "latency": snapshot["latency"],
         "plan_cache": snapshot["plan_cache"],
+        "batching": snapshot["batching"],
         "devices": snapshot["devices"],
         "queue_peak_depth": snapshot["queue"]["peak_depth"],
     }
@@ -151,9 +237,12 @@ def format_load_report(report: dict) -> str:
     """Human-readable summary of a :func:`run_load` report."""
     lines = []
     out = report["outcomes"]
+    mode = report.get("mode", "closed")
+    source = ("one open-loop submitter" if mode == "open" else
+              f"{report['clients']} closed-loop clients")
     lines.append(
-        f"{report['requests']} requests from {report['clients']} "
-        f"closed-loop clients in {report['wall_seconds']:.3f} s wall")
+        f"{report['requests']} requests from {source} "
+        f"in {report['wall_seconds']:.3f} s wall")
     lines.append(
         f"  outcomes: served={out['served']} rejected={out['rejected']} "
         f"timed-out={out['timed_out']} failed={out['failed']} "
@@ -167,6 +256,13 @@ def format_load_report(report: dict) -> str:
         f"  plan cache: {cache['hits']}/{cache['lookups']} hits "
         f"({100.0 * cache['hit_rate']:.1f}%)   "
         f"queue peak depth: {report['queue_peak_depth']}")
+    batching = report.get("batching")
+    if batching and batching["coalesced_launches"]:
+        lines.append(
+            f"  batching: {batching['coalesced_requests']} requests in "
+            f"{batching['coalesced_launches']} coalesced launches "
+            f"(mean batch {batching['mean_batch_size']:.1f}, "
+            f"{batching['launches']} launches total)")
     for name, stats in sorted(report["latency"].items()):
         lines.append(
             f"  latency[{name}]: p50={1e3 * stats['p50_s']:.2f} ms  "

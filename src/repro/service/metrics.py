@@ -175,6 +175,23 @@ class ServiceMetrics:
             "repro_service_device_modeled_seconds_total",
             "Modeled device seconds executed, per device worker "
             "(the Fig 5 axis)", ("device",))
+        # Micro-batching observability: how many coalesced launches
+        # happened, how many requests rode them (size >= 2 only — solo
+        # dispatches are not coalescing), and the size distribution.
+        self._m_launches = registry.counter(
+            "repro_service_launches_total",
+            "Launches dispatched to device workers (a coalesced batch "
+            "counts once)")
+        self._m_batches = registry.counter(
+            "repro_service_batches_total",
+            "Coalesced multi-request launches dispatched")
+        self._m_coalesced = registry.counter(
+            "repro_service_coalesced_requests_total",
+            "Requests served via a coalesced launch (batch size >= 2)")
+        self._m_batch_size = registry.histogram(
+            "repro_service_batch_size",
+            "Requests per dispatched launch (1 = uncoalesced)",
+            buckets=(1, 2, 4, 8, 16, 32, 64))
         self._latency: dict[str, LatencyStats] = {}
         self._devices: dict[str, _DeviceInstruments] = {}
         # Traced requests (service built with a Tracer): request id ->
@@ -223,6 +240,17 @@ class ServiceMetrics:
                     "device": request.device,
                     "latency_s": request.latency,
                 })
+
+    def record_batch(self, size: int) -> None:
+        """One dispatched launch of ``size`` requests.  Every dispatch is
+        observed (the histogram's size-1 bucket measures how much of the
+        load was unbatchable); the coalescing counters only move for real
+        multi-request launches."""
+        self._m_launches.inc()
+        self._m_batch_size.observe(size)
+        if size >= 2:
+            self._m_batches.inc()
+            self._m_coalesced.inc(size)
 
     def record_execution(self, device: str, busy_seconds: float,
                          modeled_seconds: float,
@@ -297,6 +325,15 @@ class ServiceMetrics:
                     "lookups": lookups,
                     "hits": hits,
                     "hit_rate": hits / lookups if lookups else 0.0,
+                },
+                "batching": {
+                    "launches": int(self._m_launches.value),
+                    "coalesced_launches": int(self._m_batches.value),
+                    "coalesced_requests": int(self._m_coalesced.value),
+                    "mean_batch_size": (
+                        int(self._m_coalesced.value)
+                        / int(self._m_batches.value)
+                        if self._m_batches.value else 1.0),
                 },
                 "devices": devices,
                 "traces": {

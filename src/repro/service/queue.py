@@ -16,6 +16,7 @@ the queue itself free of metrics policy.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Callable, Optional
 
@@ -39,17 +40,27 @@ class AdmissionQueue:
         self._closed = False
         self._gauge = gauge or (lambda depth: None)
 
-    def offer(self, request: ServiceRequest) -> int:
+    def offer(self, request: ServiceRequest,
+              on_admit: Optional[Callable[[], None]] = None) -> int:
         """Admit a request; returns the queue depth after admission.
 
         Raises :class:`ServiceOverloaded` at capacity (backpressure) and
         :class:`ServiceClosed` after :meth:`close` — in both cases the
         request is resolved accordingly before the exception propagates,
         so rejected work is never left pending.
+
+        ``on_admit`` (when given) runs *inside the queue lock*, after the
+        request is appended but before any consumer can take it — the
+        dispatcher drains under the same lock, so admission-side
+        bookkeeping (the service's ``submitted`` counter) is guaranteed
+        to happen-before the request's terminal bookkeeping.  Without the
+        hook a terminal count could land first and a metrics snapshot
+        could observe a transiently negative in-flight figure.
         """
         with self._not_empty:
             if self._closed:
-                request.resolve_cancelled()
+                request.resolve_refused(ServiceClosed(
+                    f"request #{request.id} refused: service is shut down"))
                 raise ServiceClosed(
                     f"request #{request.id} refused: service is shut down")
             if len(self._items) >= self.depth:
@@ -59,6 +70,8 @@ class AdmissionQueue:
                     f"request #{request.id} ({request.expression}) "
                     "rejected", depth=self.depth)
             self._items.append(request)
+            if on_admit is not None:
+                on_admit()
             size = len(self._items)
             self._not_empty.notify()
         self._gauge(size)
@@ -77,6 +90,44 @@ class AdmissionQueue:
             size = len(self._items)
         self._gauge(size)
         return request
+
+    def take_matching(self, match: Callable[[ServiceRequest], bool],
+                      limit: int,
+                      wait_until: Optional[float] = None,
+                      ) -> "list[ServiceRequest]":
+        """Extract up to ``limit`` requests satisfying ``match``, from
+        anywhere in the queue (the dispatcher's batch-coalescing scan:
+        same-plan requests need not be adjacent).
+
+        With ``wait_until`` (a ``time.monotonic`` instant) the call
+        lingers for more matches until the limit fills, the deadline
+        passes, or the queue closes — the dispatcher bounds the linger by
+        the earliest member deadline, so waiting for a fuller batch can
+        never push a request past its budget.  FIFO order among matches
+        is preserved.
+        """
+        if limit <= 0:
+            return []
+        taken: "list[ServiceRequest]" = []
+        with self._not_empty:
+            while True:
+                for request in list(self._items):
+                    if len(taken) >= limit:
+                        break
+                    if match(request):
+                        self._items.remove(request)
+                        taken.append(request)
+                if len(taken) >= limit or self._closed \
+                        or wait_until is None:
+                    break
+                remaining = wait_until - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._not_empty.wait(remaining)
+            size = len(self._items)
+        if taken:
+            self._gauge(size)
+        return taken
 
     def close(self) -> "list[ServiceRequest]":
         """Refuse further admissions; returns any still-queued requests so

@@ -18,6 +18,12 @@ Cancellation is *cooperative*: :meth:`cancel` sets a flag that the
 dispatcher and workers check at their checkpoints — a request already
 launched runs to completion (kernels are not interruptible, exactly as
 on a real device queue).
+
+The handle speaks the :class:`concurrent.futures.Future` protocol —
+``done()`` / ``cancelled()`` / ``running()`` / ``result()`` /
+``exception()`` / ``add_done_callback()`` — so it drops into executor-
+shaped code (``concurrent.futures.wait``-style polling loops, asyncio
+bridges via :class:`~repro.service.ServiceClient`) unchanged.
 """
 
 from __future__ import annotations
@@ -89,30 +95,80 @@ class ServiceRequest:
         self._lock = threading.Lock()
         self._done = threading.Event()
         self._cancel = threading.Event()
+        self._callbacks: list = []
 
-    # -- client API ----------------------------------------------------------
+    # -- client API (concurrent.futures.Future protocol) ---------------------
 
     @property
     def status(self) -> RequestStatus:
         return self._status
 
-    @property
     def done(self) -> bool:
+        """Whether the request has resolved (any terminal status)."""
         return self._done.is_set()
 
-    @property
     def cancelled(self) -> bool:
-        """Whether cancellation was *requested* (cooperative flag)."""
+        """Whether the request resolved CANCELLED (Future semantics:
+        the cancellation actually took effect, not merely requested —
+        for the cooperative flag see :attr:`cancel_requested`)."""
+        return (self._done.is_set()
+                and self._status is RequestStatus.CANCELLED)
+
+    def running(self) -> bool:
+        """Whether the request is currently executing on a device."""
+        return self._status is RequestStatus.RUNNING
+
+    @property
+    def cancel_requested(self) -> bool:
+        """Whether cancellation was *requested* (the cooperative flag the
+        dispatcher and workers check at their checkpoints)."""
         return self._cancel.is_set()
 
-    def cancel(self) -> None:
-        """Request cooperative cancellation.  Takes effect at the next
-        scheduling checkpoint; a request already running completes."""
+    def cancel(self) -> bool:
+        """Request cooperative cancellation.
+
+        Returns ``False`` when the request already resolved or is
+        running on a device (kernels are not interruptible — it will
+        complete); ``True`` when the request was still pending, meaning
+        the cancellation takes effect at the next scheduling checkpoint.
+        Unlike :class:`concurrent.futures.Future`, a ``True`` return is
+        a promise of *eventual* cancellation, not an instant one — wait
+        on the handle to observe the terminal status.
+        """
         self._cancel.set()
+        return not (self._done.is_set()
+                    or self._status is RequestStatus.RUNNING)
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(request)`` when the request resolves (immediately if
+        it already has).  Callbacks run on the resolving thread — a
+        worker, the dispatcher, or the submitting thread — and must not
+        block; exceptions they raise are swallowed, matching
+        :meth:`concurrent.futures.Future.add_done_callback`.
+        """
+        with self._lock:
+            if not self._done.is_set():
+                self._callbacks.append(fn)
+                return
+        try:
+            fn(self)
+        except Exception:
+            pass
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the request resolves; False on wait timeout."""
         return self._done.wait(timeout)
+
+    def exception(self, timeout: Optional[float] = None,
+                  ) -> Optional[BaseException]:
+        """Block for resolution and return the failure cause — ``None``
+        when the request was served.  Raises :class:`TimeoutError` if the
+        *wait* times out (independent of the service-side deadline)."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request #{self.id} ({self.expression}) not resolved "
+                f"within {timeout} s (status: {self._status.value})")
+        return self.error
 
     def result(self, timeout: Optional[float] = None) -> "ExecutionReport":
         """Block for the outcome: the :class:`ExecutionReport` on success,
@@ -175,6 +231,12 @@ class ServiceRequest:
             self.span.annotate(status=status.value,
                                device=device or "")
             self.span.finish()
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            try:
+                fn(self)
+            except Exception:
+                pass
         return True
 
     def resolve_served(self, report: "ExecutionReport",
@@ -186,6 +248,12 @@ class ServiceRequest:
         return self._resolve(RequestStatus.REJECTED, error=ServiceOverloaded(
             f"request #{self.id} ({self.expression}) rejected: admission "
             f"queue at capacity ({depth})", depth=depth))
+
+    def resolve_refused(self, error: BaseException) -> bool:
+        """Admission refusal that is not load-shedding (service shut
+        down): terminal status REJECTED with the refusal as the cause, so
+        outcome accounting matches what the submitter was told."""
+        return self._resolve(RequestStatus.REJECTED, error=error)
 
     def resolve_timed_out(self, where: str) -> bool:
         return self._resolve(RequestStatus.TIMED_OUT, error=RequestTimedOut(

@@ -73,6 +73,15 @@ class DerivedFieldService:
     compiled executor plus one shared on-disk plan cache, so a restarted
     service warms without recompiling (DESIGN.md §10).
 
+    ``max_batch`` enables micro-batching (DESIGN.md §11): the dispatcher
+    coalesces up to that many queued requests sharing one device-
+    retargeted plan key into a single launch over stacked bindings,
+    amortizing per-launch overhead; ``1`` disables coalescing.
+    ``batch_window`` optionally lingers that many seconds for a fuller
+    batch, bounded by the head request's deadline so no request waits
+    past its budget (``0``, the default, coalesces only what is already
+    queued — zero added latency).
+
     Use as a context manager (``with DerivedFieldService(...) as svc:``)
     or call :meth:`close` explicitly — close drains by default.
     """
@@ -87,11 +96,19 @@ class DerivedFieldService:
                  affinity_slack: int = 1,
                  backend: Optional[str] = None,
                  plan_cache_dir=None,
+                 max_batch: int = 8,
+                 batch_window: float = 0.0,
                  start: bool = True,
                  tracer: Optional[Tracer] = None,
                  metrics_registry: Optional[MetricsRegistry] = None):
         if not devices:
             raise ValueError("service needs at least one device")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {max_batch}")
+        if batch_window < 0.0:
+            raise ValueError(f"batch_window must be >= 0: {batch_window}")
+        self.max_batch = max_batch
+        self.batch_window = batch_window
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.plan_cache = PlanCache(plan_cache_size)
         # One shared disk cache: any worker's cold codegen persists the
@@ -219,14 +236,20 @@ class DerivedFieldService:
         with self._idle:
             self._inflight += 1
         try:
-            self._queue.offer(request)
+            # record_admitted runs under the queue lock, after the append:
+            # the dispatcher drains under that same lock, so the
+            # submitted-counter increment happens-before any terminal
+            # accounting for this request — the snapshot invariant
+            # ``offered == resolved + in_flight`` can never transiently
+            # go negative (see ServiceMetrics.snapshot).
+            self._queue.offer(request,
+                              on_admit=self.metrics.record_admitted)
         except Exception:
             with self._idle:
                 self._inflight -= 1
                 self._idle.notify_all()
             self.metrics.record_rejected()
             raise
-        self.metrics.record_admitted()
         return request
 
     def execute(self, expression: str,
@@ -263,7 +286,7 @@ class DerivedFieldService:
                 continue
             if request.queue_span is not None:
                 request.queue_span.finish()
-            if request.cancelled:
+            if request.cancel_requested:
                 if request.resolve_cancelled():
                     self._request_done(request)
                 continue
@@ -271,9 +294,32 @@ class DerivedFieldService:
                 if request.resolve_timed_out("in the admission queue"):
                     self._request_done(request)
                 continue
+            batch = self._coalesce(request)
             decision = self._scheduler.pick(self.workers,
                                             request.prepared.key)
-            decision.worker.assign(request)
+            decision.worker.assign_batch(batch)
+
+    def _coalesce(self, head: ServiceRequest) -> "list[ServiceRequest]":
+        """Grow a batch behind ``head``: pull queued requests sharing its
+        plan key (same structure, sizes, dtype, backend — retargetable to
+        one device launch), up to ``max_batch``.  An optional linger
+        (``batch_window``) is cut off at the head's deadline, so waiting
+        for a fuller batch never pushes a request past its budget."""
+        key = head.prepared.key
+        if self.max_batch <= 1 or key is None:
+            return [head]
+        wait_until = None
+        if self.batch_window > 0.0:
+            wait_until = time.monotonic() + self.batch_window
+            if head.deadline is not None:
+                wait_until = min(wait_until, head.deadline)
+        extras = self._queue.take_matching(
+            lambda r: r.prepared.key == key,
+            self.max_batch - 1, wait_until=wait_until)
+        for extra in extras:
+            if extra.queue_span is not None:
+                extra.queue_span.finish()
+        return [head, *extras]
 
     def _request_done(self, request: ServiceRequest) -> None:
         """Terminal bookkeeping for every admitted request (worker and

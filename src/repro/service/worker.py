@@ -96,13 +96,29 @@ class DeviceWorker:
             self._outstanding += 1
             self._wake.notify()
 
+    def assign_batch(self, requests: "list[ServiceRequest]") -> None:
+        """Dispatcher hands over a coalesced same-plan batch.  The batch
+        travels the inbox as one unit so its members launch together."""
+        if len(requests) == 1:
+            self.assign(requests[0])
+            return
+        for request in requests:
+            request.mark_dispatched()
+        with self._wake:
+            self._inbox.append(requests)
+            self._outstanding += len(requests)
+            self._wake.notify()
+
     def stop(self, drain: bool = True) -> None:
         """Stop the thread; with ``drain`` the inbox is served first,
         otherwise leftover requests resolve ``CANCELLED``."""
         with self._wake:
             self._stopping = True
             if not drain:
-                leftovers = list(self._inbox)
+                leftovers = []
+                for item in self._inbox:
+                    leftovers.extend(item if isinstance(item, list)
+                                     else [item])
                 self._inbox.clear()
             else:
                 leftovers = []
@@ -126,12 +142,15 @@ class DeviceWorker:
                     if self._stopping:
                         return
                     continue
-                request = self._inbox.popleft()
-            self._process(request)
+                item = self._inbox.popleft()
+            if isinstance(item, list):
+                self._process_batch(item)
+            else:
+                self._process(item)
 
     def _process(self, request: ServiceRequest) -> None:
         try:
-            if request.cancelled:
+            if request.cancel_requested:
                 request.resolve_cancelled()
                 return
             if request.deadline_expired():
@@ -142,6 +161,7 @@ class DeviceWorker:
             if prepared.key is not None:
                 prepared = replace(prepared,
                                    key=self.device_key(prepared.key))
+            self.metrics.record_batch(1)
             start = time.perf_counter()
             try:
                 # The request's root span lives on the submitting thread's
@@ -173,9 +193,82 @@ class DeviceWorker:
                 return
             request.resolve_served(report, device=self.name)
         finally:
-            with self._lock:
-                self._outstanding -= 1
-            self._finish(request)
+            self._settle(request)
+
+    def _process_batch(self, batch: "list[ServiceRequest]") -> None:
+        """Launch a coalesced same-plan batch through
+        :meth:`DerivedFieldEngine.execute_batch`.
+
+        Each member is still checkpointed individually (a cancelled or
+        deadline-expired member drops out without holding the batch), and
+        each resolves with its *own* solo-identical report.  The device's
+        busy wall-seconds and the batch's coalesced modeled seconds are
+        attributed evenly across the members, so device utilization and
+        modeled throughput reflect the amortized launch, not B solo runs.
+        """
+        runnable: list[ServiceRequest] = []
+        for request in batch:
+            if request.cancel_requested:
+                request.resolve_cancelled()
+                self._settle(request)
+            elif request.deadline_expired():
+                request.resolve_timed_out("waiting for a device worker")
+                self._settle(request)
+            else:
+                runnable.append(request)
+        if not runnable:
+            return
+        if len(runnable) == 1:
+            self._process(runnable[0])
+            return
+        for request in runnable:
+            request.mark_running()
+        prepared_list = []
+        for request in runnable:
+            prepared = request.prepared
+            if prepared.key is not None:
+                prepared = replace(prepared,
+                                   key=self.device_key(prepared.key))
+            prepared_list.append(prepared)
+        start = time.perf_counter()
+        try:
+            with self.engine.tracer.span("worker.execute",
+                                         category="service",
+                                         parent=runnable[0].span,
+                                         worker=self.name,
+                                         batch=len(runnable)):
+                result = self.engine.execute_batch(prepared_list)
+        except BaseException as exc:
+            busy = (time.perf_counter() - start) / len(runnable)
+            for request in runnable:
+                self.metrics.record_execution(self.name, busy, 0.0,
+                                              cache_hit=None, failed=True)
+                request.resolve_failed(exc, device=self.name)
+                self._settle(request)
+            return
+        busy = (time.perf_counter() - start) / len(runnable)
+        modeled = result.modeled_seconds / len(runnable)
+        self.metrics.record_batch(len(runnable))
+        for position, (request, report) in enumerate(zip(runnable,
+                                                         result.reports)):
+            # Plan-cache attribution: the batch performed one real lookup
+            # (charged to its first member); every later member reused
+            # the in-hand plan — a hit by construction.  One lookup per
+            # request keeps the service's hit-rate denominator meaningful
+            # under batching.
+            hit = result.hit if position == 0 else True
+            self.metrics.record_execution(self.name, busy, modeled,
+                                          cache_hit=hit)
+            if request.deadline_expired():
+                request.resolve_timed_out("during execution")
+            else:
+                request.resolve_served(report, device=self.name)
+            self._settle(request)
+
+    def _settle(self, request: ServiceRequest) -> None:
+        with self._lock:
+            self._outstanding -= 1
+        self._finish(request)
 
     def _finish(self, request: ServiceRequest) -> None:
         try:

@@ -193,21 +193,6 @@ class ExecutionStrategy(abc.ABC):
         n, dtype = problem_size(bindings)
         return bindings, n, np.dtype(dtype)
 
-    # One warning per process, not per call: a strategy may sit on a hot
-    # serving path, and repeated warnings drown real ones.
-    _prepare_warned = False
-
-    def _prepare(self, network: Network,
-                 arrays: Mapping[str, BindingInput]):
-        """Deprecated alias of :meth:`prepare` (pre-service private API)."""
-        if not ExecutionStrategy._prepare_warned:
-            ExecutionStrategy._prepare_warned = True
-            import warnings
-            warnings.warn("ExecutionStrategy._prepare is deprecated; "
-                          "use the public prepare()", DeprecationWarning,
-                          stacklevel=2)
-        return self.prepare(network, arrays)
-
     def _node_components(self, network: Network, node_id: str) -> int:
         return (VECTOR_WIDTH
                 if network.kind_of(node_id) is ResultKind.VECTOR else 1)

@@ -1,0 +1,165 @@
+"""Unit tests for the modeled event-stream transforms
+(:mod:`repro.clsim.pipeline`): batch coalescing, transfer/compute
+overlap, and the makespan helper."""
+
+import pytest
+
+from repro.clsim.device import NVIDIA_M2050_GPU
+from repro.clsim.events import Event, EventKind, EventLog
+from repro.clsim.perfmodel import transfer_seconds
+from repro.clsim.pipeline import coalesce_events, makespan, overlap_events
+
+DEVICE = NVIDIA_M2050_GPU
+
+
+def stream(nbytes=8192, kernel_s=1e-3, tag="a"):
+    """One plan capture: two uploads, a kernel, a readback."""
+    up = transfer_seconds(nbytes, DEVICE)
+    return [
+        Event(EventKind.DEV_WRITE, f"u.{tag}", nbytes, up),
+        Event(EventKind.DEV_WRITE, f"v.{tag}", nbytes, up),
+        Event(EventKind.KERNEL, f"k.{tag}", 0,
+              DEVICE.kernel_launch_overhead + kernel_s),
+        Event(EventKind.DEV_READ, f"out.{tag}", nbytes, up),
+    ]
+
+
+class TestMakespan:
+    def test_empty_stream(self):
+        assert makespan([]) == 0.0
+
+    def test_unstamped_events_anchor_at_zero(self):
+        assert makespan([Event(EventKind.KERNEL, "k", 0, 2.5)]) == 2.5
+
+    def test_latest_completion_wins(self):
+        events = [Event(EventKind.KERNEL, "k", 0, 1.0, ts_seconds=0.0),
+                  Event(EventKind.DEV_READ, "r", 8, 0.5, ts_seconds=3.0)]
+        assert makespan(events) == 3.5
+
+
+class TestCoalesce:
+    def test_empty_and_singleton(self):
+        assert coalesce_events([], DEVICE) == []
+        solo = coalesce_events([stream()], DEVICE)
+        assert [e.name for e in solo] == ["u.a", "v.a", "k.a", "out.a"]
+        assert all(e.ts_seconds is None for e in solo)
+
+    def test_transfers_pay_latency_once(self):
+        batch = 4
+        merged = coalesce_events([stream(tag=str(i)) for i in range(batch)],
+                                 DEVICE)
+        upload = merged[0]
+        assert upload.kind is EventKind.DEV_WRITE
+        assert upload.nbytes == batch * 8192
+        # One DMA over the stacked payload: a single link latency.
+        assert upload.sim_seconds == pytest.approx(
+            transfer_seconds(batch * 8192, DEVICE))
+        assert upload.sim_seconds < batch * transfer_seconds(8192, DEVICE)
+
+    def test_kernel_pays_launch_overhead_once(self):
+        batch = 3
+        merged = coalesce_events([stream(tag=str(i)) for i in range(batch)],
+                                 DEVICE)
+        kernel = merged[2]
+        solo_kernel = stream()[2]
+        assert kernel.sim_seconds == pytest.approx(
+            batch * solo_kernel.sim_seconds
+            - (batch - 1) * DEVICE.kernel_launch_overhead)
+
+    def test_build_happens_once(self):
+        base = stream()
+        build = Event(EventKind.BUILD, "prog", 100, 0.25)
+        merged = coalesce_events([[build] + base, [build] + base], DEVICE)
+        assert merged[0].kind is EventKind.BUILD
+        assert merged[0].sim_seconds == 0.25
+        assert merged[0].nbytes == 100
+
+    def test_names_carry_batch_width(self):
+        merged = coalesce_events([stream(), stream(tag="b")], DEVICE)
+        assert merged[2].name == "k.a[x2]"
+
+    def test_accepts_event_logs(self):
+        log = EventLog()
+        for event in stream():
+            log.record(event)
+        merged = coalesce_events([log, stream(tag="b")], DEVICE)
+        assert len(merged) == 4
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="different shapes"):
+            coalesce_events([stream(), stream()[:-1]], DEVICE)
+
+    def test_rejects_mismatched_kinds(self):
+        other = stream()
+        other[1], other[2] = other[2], other[1]
+        with pytest.raises(ValueError, match="mismatched event kinds"):
+            coalesce_events([stream(), other], DEVICE)
+
+
+class TestOverlap:
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError, match="depth"):
+            overlap_events([stream()], depth=0)
+
+    def test_single_chunk_is_serial(self):
+        events = overlap_events([stream()], depth=2)
+        serial = sum(e.sim_seconds for e in stream())
+        assert makespan(events) == pytest.approx(serial)
+
+    def test_durations_and_totals_invariant(self):
+        chunks = [stream(tag=str(i)) for i in range(4)]
+        events = overlap_events(chunks, depth=2)
+        assert sorted(e.sim_seconds for e in events) == sorted(
+            e.sim_seconds for chunk in chunks for e in chunk)
+        assert sorted(e.name for e in events) == sorted(
+            e.name for chunk in chunks for e in chunk)
+
+    def test_overlap_beats_serial(self):
+        chunks = [stream(tag=str(i)) for i in range(4)]
+        serial = sum(e.sim_seconds for chunk in chunks for e in chunk)
+        assert makespan(overlap_events(chunks, depth=2)) < serial
+
+    def test_depth_one_is_fully_serial(self):
+        chunks = [stream(tag=str(i)) for i in range(4)]
+        serial = sum(e.sim_seconds for chunk in chunks for e in chunk)
+        assert makespan(overlap_events(chunks, depth=1)) == \
+            pytest.approx(serial)
+
+    def test_next_upload_overlaps_current_compute(self):
+        chunks = [stream(tag="0"), stream(tag="1")]
+        events = {e.name: e for e in overlap_events(chunks, depth=2)}
+        kernel0 = events["k.0"]
+        upload1 = events["u.1"]
+        assert upload1.ts_seconds < kernel0.ts_seconds + \
+            kernel0.sim_seconds
+
+    def test_lanes_never_double_book(self):
+        lanes = {EventKind.DEV_WRITE: "h2d", EventKind.KERNEL: "compute",
+                 EventKind.BUILD: "compute", EventKind.DEV_READ: "d2h"}
+        events = overlap_events([stream(tag=str(i)) for i in range(5)],
+                                depth=3)
+        free = {"h2d": 0.0, "compute": 0.0, "d2h": 0.0}
+        for event in events:        # sorted by start time
+            lane = lanes[event.kind]
+            assert event.ts_seconds >= free[lane] - 1e-15
+            free[lane] = event.ts_seconds + event.sim_seconds
+
+    def test_residency_bound_gates_chunk_start(self):
+        chunks = [stream(tag=str(i)) for i in range(3)]
+        deep = {e.name: e for e in overlap_events(chunks, depth=3)}
+        shallow = {e.name: e for e in overlap_events(chunks, depth=1)}
+        # With depth 1, chunk 1 cannot start before chunk 0 finished.
+        chunk0_end = max(shallow[f"{n}.0"].ts_seconds
+                        + shallow[f"{n}.0"].sim_seconds
+                        for n in ("u", "v", "k", "out"))
+        assert shallow["u.1"].ts_seconds >= chunk0_end - 1e-15
+        assert deep["u.1"].ts_seconds < shallow["u.1"].ts_seconds
+
+    def test_replays_into_log_preserving_timeline(self):
+        events = overlap_events([stream(tag=str(i)) for i in range(3)],
+                                depth=2)
+        log = EventLog()
+        for event in events:
+            log.record(event)
+        assert [e.ts_seconds for e in log.events] == \
+            [e.ts_seconds for e in events]

@@ -1,0 +1,227 @@
+"""The unified futures client API: `ServiceRequest`'s
+`concurrent.futures.Future` protocol and the asyncio `ServiceClient`
+bridge over it."""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.vortex import EXPRESSION_INPUTS, EXPRESSIONS
+from repro.errors import (RequestCancelled, RequestTimedOut,
+                          ServiceOverloaded)
+from repro.host import DerivedFieldEngine
+from repro.service import RequestStatus, ServiceClient, build_service
+from repro.workloads import SubGrid, make_fields
+
+GRID = SubGrid(6, 6, 8)
+
+
+@pytest.fixture(scope="module")
+def fields():
+    return make_fields(GRID, seed=7)
+
+
+def case_inputs(fields, name):
+    return {k: fields[k] for k in EXPRESSION_INPUTS[name]}
+
+
+class TestFutureProtocol:
+    def test_lifecycle_flags_served(self, fields):
+        inputs = case_inputs(fields, "velocity_magnitude")
+        with build_service(("cpu",)) as service:
+            handle = service.submit(EXPRESSIONS["velocity_magnitude"],
+                                    inputs)
+            handle.result(timeout=30.0)
+            assert handle.done()
+            assert not handle.cancelled()
+            assert not handle.running()
+            assert handle.exception() is None
+            assert handle.status is RequestStatus.SERVED
+
+    def test_cancel_returns_bool_and_cancelled_flag(self, fields):
+        inputs = case_inputs(fields, "velocity_magnitude")
+        service = build_service(("cpu",), start=False)
+        try:
+            handle = service.submit(EXPRESSIONS["velocity_magnitude"],
+                                    inputs)
+            assert not handle.done()
+            assert handle.cancel() is True
+            assert handle.cancel_requested
+            service.start()
+            with pytest.raises(RequestCancelled):
+                handle.result(timeout=30.0)
+            assert handle.done()
+            assert handle.cancelled()
+            # Cancelling a finished request cannot succeed anymore.
+            assert handle.cancel() is False
+        finally:
+            service.close()
+
+    def test_exception_returns_service_side_error(self, fields):
+        inputs = case_inputs(fields, "velocity_magnitude")
+        service = build_service(("cpu",), start=False,
+                                default_timeout=0.0)
+        try:
+            handle = service.submit(EXPRESSIONS["velocity_magnitude"],
+                                    inputs)
+            service.start()
+            error = handle.exception(timeout=30.0)
+            assert isinstance(error, RequestTimedOut)
+            with pytest.raises(RequestTimedOut):
+                handle.result()
+        finally:
+            service.close()
+
+    def test_exception_timeout_raises_timeout_error(self, fields):
+        inputs = case_inputs(fields, "velocity_magnitude")
+        service = build_service(("cpu",), start=False)
+        try:
+            handle = service.submit(EXPRESSIONS["velocity_magnitude"],
+                                    inputs)
+            with pytest.raises(TimeoutError):
+                handle.exception(timeout=0.01)
+        finally:
+            service.close()
+
+    def test_done_callback_fires_on_resolution(self, fields):
+        inputs = case_inputs(fields, "velocity_magnitude")
+        fired = threading.Event()
+        seen = []
+        with build_service(("cpu",)) as service:
+            handle = service.submit(EXPRESSIONS["velocity_magnitude"],
+                                    inputs)
+            handle.add_done_callback(
+                lambda request: (seen.append(request.status),
+                                 fired.set()))
+            assert fired.wait(timeout=30.0)
+        assert seen == [RequestStatus.SERVED]
+
+    def test_done_callback_on_finished_handle_fires_immediately(self,
+                                                                fields):
+        inputs = case_inputs(fields, "velocity_magnitude")
+        with build_service(("cpu",)) as service:
+            handle = service.submit(EXPRESSIONS["velocity_magnitude"],
+                                    inputs)
+            handle.result(timeout=30.0)
+            seen = []
+            handle.add_done_callback(seen.append)
+            assert seen == [handle]
+
+    def test_callback_exceptions_are_swallowed(self, fields):
+        inputs = case_inputs(fields, "velocity_magnitude")
+        with build_service(("cpu",)) as service:
+            handle = service.submit(EXPRESSIONS["velocity_magnitude"],
+                                    inputs)
+            handle.result(timeout=30.0)
+            handle.add_done_callback(
+                lambda request: (_ for _ in ()).throw(RuntimeError()))
+            # Still usable afterwards.
+            assert handle.done()
+
+
+class TestServiceClient:
+    def test_submit_awaits_full_report(self, fields):
+        inputs = case_inputs(fields, "q_criterion")
+        engine = DerivedFieldEngine(device="cpu", strategy="fusion")
+        expected = engine.derive(EXPRESSIONS["q_criterion"], inputs)
+
+        async def go(service):
+            report = await ServiceClient(service).submit(
+                EXPRESSIONS["q_criterion"], inputs)
+            return report
+
+        with build_service(("cpu",)) as service:
+            report = asyncio.run(go(service))
+        assert np.array_equal(report.output, expected)
+        assert report.strategy == "fusion"
+
+    def test_derive_awaits_just_the_array(self, fields):
+        inputs = case_inputs(fields, "velocity_magnitude")
+
+        async def go(service):
+            return await ServiceClient(service).derive(
+                EXPRESSIONS["velocity_magnitude"], inputs)
+
+        with build_service(("cpu",)) as service:
+            out = asyncio.run(go(service))
+        assert isinstance(out, np.ndarray)
+
+    def test_many_requests_one_event_loop(self, fields):
+        inputs = case_inputs(fields, "q_criterion")
+
+        async def go(service):
+            client = ServiceClient(service)
+            futures = client.submit_many(
+                [(EXPRESSIONS["q_criterion"], inputs)] * 24)
+            return await asyncio.gather(*futures)
+
+        with build_service(("cpu",), queue_depth=32) as service:
+            reports = asyncio.run(go(service))
+        assert len(reports) == 24
+        assert all(r.output is not None for r in reports)
+
+    def test_submit_many_isolates_rejections(self, fields):
+        """A rejected submission lands on its own future; later
+        submissions in the same call still go through."""
+        inputs = case_inputs(fields, "q_criterion")
+
+        async def go(service):
+            client = ServiceClient(service)
+            futures = client.submit_many(
+                [(EXPRESSIONS["q_criterion"], inputs)] * 6)
+            service.start()
+            return await asyncio.gather(*futures,
+                                        return_exceptions=True)
+
+        service = build_service(("cpu",), queue_depth=3, start=False)
+        try:
+            results = asyncio.run(go(service))
+        finally:
+            service.close()
+        rejected = [r for r in results
+                    if isinstance(r, ServiceOverloaded)]
+        served = [r for r in results if not isinstance(r, Exception)]
+        assert len(rejected) == 3
+        assert len(served) == 3
+
+    def test_service_side_timeout_raises_from_await(self, fields):
+        inputs = case_inputs(fields, "q_criterion")
+
+        async def go(service):
+            client = ServiceClient(service)
+            future = client._bridge(
+                asyncio.get_running_loop(),
+                service.submit(EXPRESSIONS["q_criterion"], inputs))
+            service.start()
+            with pytest.raises(RequestTimedOut):
+                await future
+
+        service = build_service(("cpu",), start=False,
+                                default_timeout=0.0)
+        try:
+            asyncio.run(go(service))
+        finally:
+            service.close()
+
+    def test_asyncio_cancel_propagates_to_handle(self, fields):
+        inputs = case_inputs(fields, "q_criterion")
+
+        async def go(service):
+            handle = service.submit(EXPRESSIONS["q_criterion"], inputs)
+            future = ServiceClient._bridge(asyncio.get_running_loop(),
+                                           handle)
+            future.cancel()
+            await asyncio.sleep(0)   # let the done callback run
+            return handle
+
+        service = build_service(("cpu",), start=False)
+        try:
+            handle = asyncio.run(go(service))
+            assert handle.cancel_requested
+            service.start()
+            with pytest.raises(RequestCancelled):
+                handle.result(timeout=30.0)
+        finally:
+            service.close()

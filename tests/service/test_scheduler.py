@@ -32,6 +32,10 @@ class StubRequest:
         self.outcome = ("cancelled",)
         return True
 
+    def resolve_refused(self, error):
+        self.outcome = ("refused", type(error).__name__)
+        return True
+
 
 class TestAdmissionQueue:
     def test_fifo_order(self):
@@ -65,7 +69,7 @@ class TestAdmissionQueue:
         late = StubRequest(99)
         with pytest.raises(ServiceClosed):
             queue.offer(late)
-        assert late.outcome == ("cancelled",)
+        assert late.outcome == ("refused", "ServiceClosed")
 
     def test_gauge_sees_every_depth_change(self):
         depths = []

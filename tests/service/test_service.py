@@ -130,7 +130,7 @@ class TestLifecycle:
                                   inputs) for _ in range(3)]
         service.close(drain=False)
         for handle in handles:
-            assert handle.done
+            assert handle.done()
             assert handle.status is RequestStatus.CANCELLED
             with pytest.raises(RequestCancelled):
                 handle.result()

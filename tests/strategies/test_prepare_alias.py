@@ -1,9 +1,8 @@
-"""Regression tests for the deprecated ``_prepare`` alias: it must warn
-exactly once per process and behave identically to the public method."""
+"""The deprecated ``_prepare`` alias (warned since PR 3) is gone:
+``prepare()`` is the single entry point, and it stays warning-free."""
 
 import warnings
 
-import numpy as np
 import pytest
 
 from repro.dataflow import Network
@@ -23,43 +22,19 @@ def arrays(small_fields):
     return {"u": small_fields["u"], "v": small_fields["v"]}
 
 
-@pytest.fixture(autouse=True)
-def reset_warn_once():
-    ExecutionStrategy._prepare_warned = False
-    yield
-    ExecutionStrategy._prepare_warned = False
+class TestPrepareIsTheOnlyEntryPoint:
+    def test_alias_removed(self):
+        assert not hasattr(ExecutionStrategy, "_prepare")
+        assert not hasattr(ExecutionStrategy, "_prepare_warned")
+        for name in ("roundtrip", "staged", "fusion"):
+            assert not hasattr(get_strategy(name), "_prepare")
 
-
-class TestPrepareAlias:
-    def test_warns_deprecation_exactly_once(self, network, arrays):
-        strategy = get_strategy("fusion")
+    def test_public_prepare_works_and_does_not_warn(self, network, arrays):
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            strategy._prepare(network, arrays)
-            strategy._prepare(network, arrays)
-            get_strategy("staged")._prepare(network, arrays)
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1
-        assert "_prepare is deprecated" in str(deprecations[0].message)
-
-    def test_alias_matches_public_prepare(self, network, arrays):
-        strategy = get_strategy("fusion")
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            alias_bindings, alias_n, alias_dtype = \
-                strategy._prepare(network, arrays)
-        bindings, n, dtype = strategy.prepare(network, arrays)
-        assert alias_n == n
-        assert alias_dtype == dtype
-        assert set(alias_bindings) == set(bindings)
-        for name in bindings:
-            np.testing.assert_array_equal(alias_bindings[name].data,
-                                          bindings[name].data)
-
-    def test_public_prepare_does_not_warn(self, network, arrays):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            get_strategy("fusion").prepare(network, arrays)
+            bindings, n, dtype = get_strategy("fusion").prepare(network,
+                                                                arrays)
+        assert n == arrays["u"].size
+        assert set(bindings) == {"u", "v"}
         assert not [w for w in caught
                     if issubclass(w.category, DeprecationWarning)]
