@@ -1,0 +1,269 @@
+#!/usr/bin/env python
+"""Validate debug bundles and the live health surfaces (CI obs-smoke).
+
+Two modes:
+
+* **bundle-dir validation** (default): ``validate_obs.py BUNDLE_DIR``
+  walks every bundle under the root and checks the ISSUE 10 contract —
+  manifest schema/trigger, all six files present and parseable, the
+  Chrome trace's events joined to the manifest's ``trace_id``, and
+  (the acceptance criterion) the trace's device-lane event counts
+  equal to ``report.json``'s executed-operation counters.
+  ``--expect-trigger`` / ``--min-bundles`` pin what CI injected.
+
+* **live smoke** (``--live``): spins an in-process service with a
+  debug-bundle dir and an HTTP metrics server, drives a single-
+  expression load with injected deadline misses, and asserts the
+  health surfaces react: ``/readyz`` is ready, ``/healthz`` flips to
+  503 once the error burn rate exceeds the budget, ``/debugz`` lists
+  the written bundles — then runs bundle-dir validation on what was
+  produced.
+
+Usage::
+
+    python benchmarks/validate_obs.py BUNDLE_DIR \
+        [--expect-trigger deadline-miss] [--min-bundles 1]
+    python benchmarks/validate_obs.py --live [--requests 30] [--misses 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+SRC = HERE.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.obs.bundles import BUNDLE_SCHEMA, TRIGGERS  # noqa: E402
+
+REQUIRED_FILES = ("manifest.json", "trace.json", "report.json",
+                  "plan.json", "metrics.json", "log.jsonl")
+
+# Chrome-trace device-lane category -> ExecutionReport counter name.
+LANE_COUNTERS = {"kernel": "kernel_execs",
+                 "dev-write": "dev_writes",
+                 "dev-read": "dev_reads"}
+
+
+def _load_json(path: pathlib.Path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def validate_bundle(bundle: pathlib.Path) -> "list[str]":
+    """Errors for one bundle directory (empty list = valid)."""
+    where = bundle.name
+    errors = []
+    for name in REQUIRED_FILES:
+        if not (bundle / name).is_file():
+            errors.append(f"{where}: missing {name}")
+    if errors:
+        return errors
+
+    try:
+        manifest = _load_json(bundle / "manifest.json")
+        trace = _load_json(bundle / "trace.json")
+        report = _load_json(bundle / "report.json")
+        _load_json(bundle / "plan.json")
+        metrics = _load_json(bundle / "metrics.json")
+    except ValueError as exc:
+        return [f"{where}: unparseable bundle file: {exc}"]
+
+    if manifest.get("schema") != BUNDLE_SCHEMA:
+        errors.append(f"{where}: schema {manifest.get('schema')!r}, "
+                      f"want {BUNDLE_SCHEMA!r}")
+    if manifest.get("trigger") not in TRIGGERS:
+        errors.append(f"{where}: unknown trigger "
+                      f"{manifest.get('trigger')!r}")
+    trace_id = manifest.get("trace_id")
+    if not trace_id:
+        errors.append(f"{where}: manifest has no trace_id")
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        errors.append(f"{where}: trace.json has no traceEvents")
+        events = []
+    joined = [e for e in events if e.get("ph") == "X"
+              and e.get("args", {}).get("trace_id") == trace_id]
+    if trace_id and not joined:
+        errors.append(f"{where}: no trace events joined to {trace_id}")
+
+    # Structured-log slice: every line parses and carries the trace id
+    # somewhere in the slice (context lines from other traces are fine).
+    log_lines = []
+    for i, line in enumerate((bundle / "log.jsonl").read_text()
+                             .splitlines()):
+        try:
+            log_lines.append(json.loads(line))
+        except ValueError:
+            errors.append(f"{where}: log.jsonl line {i + 1} unparseable")
+
+    if not isinstance(metrics, dict):
+        errors.append(f"{where}: metrics.json is not a snapshot object")
+
+    # The acceptance criterion: device-lane event counts in the Chrome
+    # trace equal the request's ExecutionReport counters.  Host spans
+    # render with pid 1; device lanes get their own pids.
+    if report is not None and trace_id:
+        lanes: "dict[str, int]" = {}
+        for event in joined:
+            if event.get("pid", 1) > 1:
+                cat = event.get("cat")
+                lanes[cat] = lanes.get(cat, 0) + 1
+        counts = report.get("counts", {})
+        for cat, counter in LANE_COUNTERS.items():
+            want = counts.get(counter)
+            got = lanes.get(cat, 0)
+            if want is not None and got != want:
+                errors.append(
+                    f"{where}: trace {cat} lane has {got} events, "
+                    f"report.counts.{counter} says {want}")
+    return errors
+
+
+def validate_dir(root: pathlib.Path, *, min_bundles: int = 1,
+                 expect_trigger: str = None) -> "list[str]":
+    errors = []
+    bundles = sorted(p.parent for p in root.glob("*/manifest.json"))
+    if len(bundles) < min_bundles:
+        errors.append(f"{root}: {len(bundles)} bundles, "
+                      f"want >= {min_bundles}")
+    triggers = set()
+    for bundle in bundles:
+        errors.extend(validate_bundle(bundle))
+        try:
+            triggers.add(_load_json(bundle / "manifest.json")
+                         .get("trigger"))
+        except ValueError:
+            pass
+    if expect_trigger and expect_trigger not in triggers:
+        errors.append(f"{root}: no bundle with trigger "
+                      f"{expect_trigger!r} (saw {sorted(triggers)})")
+    if not errors:
+        print(f"{root}: {len(bundles)} bundles valid "
+              f"(triggers: {sorted(triggers)})")
+    return errors
+
+
+def _http_json(url: str) -> "tuple[int, dict]":
+    import urllib.error
+    import urllib.request
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def run_live(requests: int, misses: int, keep_dir=None) -> "list[str]":
+    """In-process service + HTTP smoke: bundles written, /healthz flips
+    to 503 under the injected error burn, /readyz ready, /debugz lists
+    the bundles."""
+    import tempfile
+
+    from repro.metrics.exporter import MetricsServer
+    from repro.service import build_service, default_cases, run_load
+    from repro.workloads import SubGrid, make_fields
+
+    errors = []
+    fields = make_fields(SubGrid(8, 8, 8), seed=0)
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle_root = pathlib.Path(keep_dir or tmp) / "bundles"
+        # max_batch=1: a coalesced launch bridges its device events
+        # once for the whole batch, so per-member lane counts would
+        # depend on dispatch timing.  Unbatched dispatch keeps the
+        # trace-lanes == report-counters check deterministic.
+        with build_service(("cpu",), max_batch=1,
+                           debug_bundle_dir=bundle_root) as service:
+            cases = default_cases(fields, ["q_criterion"])
+            server = MetricsServer(service.metrics.registry,
+                                   port=0).start()
+            try:
+                server.add_json_route("/healthz", service.health)
+                server.add_json_route("/readyz", service.readiness)
+                server.add_json_route("/debugz", service.debug_index)
+                url = f"http://127.0.0.1:{server.port}"
+
+                code, ready = _http_json(url + "/readyz")
+                if code != 200 or not ready.get("ready"):
+                    errors.append(f"/readyz not ready before load: "
+                                  f"{code} {ready}")
+                code, health = _http_json(url + "/healthz")
+                if code != 200:
+                    errors.append(f"/healthz unhealthy before load: "
+                                  f"{code} {health}")
+
+                load = run_load(service, cases, clients=4,
+                                requests=requests, timeout=30,
+                                inject_deadline_miss=misses)
+                if load["outcomes"]["timed_out"] != misses:
+                    errors.append(
+                        f"injected {misses} misses but outcomes say "
+                        f"{load['outcomes']}")
+
+                code, health = _http_json(url + "/healthz")
+                if code != 503 or health.get("healthy"):
+                    errors.append(
+                        f"/healthz did not flip to 503 under burn: "
+                        f"{code} {health}")
+                else:
+                    burning = [name for name, row in
+                               health.get("expressions", {}).items()
+                               if row.get("burning")]
+                    print(f"/healthz flipped to 503 "
+                          f"(burning: {burning})")
+                code, debug = _http_json(url + "/debugz")
+                if code != 200 \
+                        or len(debug.get("bundles", [])) < misses:
+                    errors.append(
+                        f"/debugz lists "
+                        f"{len(debug.get('bundles', []))} bundles, "
+                        f"want >= {misses}: code {code}")
+            finally:
+                server.close()
+        errors.extend(validate_dir(bundle_root, min_bundles=misses,
+                                   expect_trigger="deadline-miss"))
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate debug bundles / live obs smoke")
+    parser.add_argument("bundle_dir", nargs="?", type=pathlib.Path,
+                        help="bundle root to validate")
+    parser.add_argument("--min-bundles", type=int, default=1)
+    parser.add_argument("--expect-trigger", choices=TRIGGERS,
+                        default=None)
+    parser.add_argument("--live", action="store_true",
+                        help="run the in-process service + HTTP smoke")
+    parser.add_argument("--requests", type=int, default=30,
+                        help="live-mode requests (default 30)")
+    parser.add_argument("--misses", type=int, default=8,
+                        help="live-mode injected deadline misses "
+                             "(default 8)")
+    args = parser.parse_args(argv)
+
+    if not args.live and args.bundle_dir is None:
+        parser.error("need a BUNDLE_DIR or --live")
+
+    errors = []
+    if args.live:
+        errors.extend(run_live(args.requests, args.misses))
+    if args.bundle_dir is not None:
+        errors.extend(validate_dir(args.bundle_dir,
+                                   min_bundles=args.min_bundles,
+                                   expect_trigger=args.expect_trigger))
+    if errors:
+        for line in errors:
+            print(f"INVALID: {line}", file=sys.stderr)
+        return 1
+    print("obs validation passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

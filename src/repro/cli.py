@@ -240,10 +240,21 @@ def cmd_serve(args) -> int:
     except ValueError as exc:
         raise SystemExit(str(exc))
 
-    tracer = None
-    if args.trace_dir:
-        from .trace import Tracer
-        tracer = Tracer()
+    # Observability (DESIGN.md §12): always on.  --trace-dir upgrades
+    # the flight recorder to retain mode so it doubles as the full
+    # tracer; --debug-bundle-dir arms tail-sampled debug bundles;
+    # --log-jsonl streams the structured log.
+    from .obs import Observability, StructuredLogger, set_logger
+    obs = Observability(bundle_dir=args.debug_bundle_dir,
+                        retain_trace=bool(args.trace_dir))
+    log_stream = None
+    if args.log_jsonl:
+        log_stream = open(args.log_jsonl, "w")
+        set_logger(StructuredLogger(level=args.log_level,
+                                    stream=log_stream))
+    elif args.log_level != "info":
+        set_logger(StructuredLogger(level=args.log_level))
+    tracer = obs.recorder
 
     metrics_server = None
     metrics_registry = None
@@ -273,15 +284,33 @@ def cmd_serve(args) -> int:
                            batch_window=args.batch_window,
                            tracer=tracer,
                            metrics_registry=metrics_registry,
+                           obs=obs,
                            ) as service:
-            report = run_load(service, cases, clients=args.clients,
-                              requests=args.requests, mode=mode,
-                              rate_rps=args.rate)
+            if metrics_server is not None:
+                # Health/debug surfaces ride the metrics listener.
+                metrics_server.add_json_route("/healthz", service.health)
+                metrics_server.add_json_route("/readyz",
+                                              service.readiness)
+                metrics_server.add_json_route("/debugz",
+                                              service.debug_index)
+                print(f"health on {metrics_server.url('/healthz')}, "
+                      f"{metrics_server.url('/readyz')}, debug index "
+                      f"on {metrics_server.url('/debugz')}")
+            report = run_load(
+                service, cases, clients=args.clients,
+                requests=args.requests, mode=mode, rate_rps=args.rate,
+                inject_deadline_miss=args.inject_deadline_miss)
             snapshot = service.snapshot()
     finally:
         if metrics_server is not None:
             metrics_server.close()
+        if log_stream is not None:
+            log_stream.close()
     print(format_load_report(report))
+    if args.debug_bundle_dir and obs.bundles is not None:
+        stats = obs.bundles.stats()
+        print(f"debug bundles: {stats['written']} written under "
+              f"{stats['root']} ({stats['skipped']} skipped)")
     if args.trace_dir:
         import os
 
@@ -304,6 +333,11 @@ def cmd_serve(args) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_top(args) -> int:
+    from .obs.top import run_top
+    return run_top(args.url, interval=args.interval, once=args.once)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -404,11 +438,43 @@ def build_parser() -> argparse.ArgumentParser:
                         "(Chrome trace events) and DIR/profile.txt")
     p.add_argument("--metrics-port", type=int, default=None,
                    metavar="PORT",
-                   help="serve live /metrics (Prometheus text) and "
-                        "/metrics.json on this port for the duration "
-                        "of the run (0 picks an ephemeral port)")
+                   help="serve live /metrics (Prometheus text), "
+                        "/metrics.json, /healthz, /readyz, and /debugz "
+                        "on this port for the duration of the run "
+                        "(0 picks an ephemeral port)")
+    p.add_argument("--debug-bundle-dir", metavar="DIR", default=None,
+                   help="dump a self-contained debug bundle (trace, "
+                        "report, plan, metrics, log slice) for every "
+                        "anomalous request — failure, deadline miss, "
+                        "cancellation, codegen fallback, p99 latency "
+                        "outlier — under DIR")
+    p.add_argument("--inject-deadline-miss", type=int, default=0,
+                   metavar="N",
+                   help="force the first N requests to miss their "
+                        "deadline at the post-execution checkpoint "
+                        "(deterministic fault injection for the obs "
+                        "smoke test; default 0)")
+    p.add_argument("--log-jsonl", metavar="FILE", default=None,
+                   help="stream the correlated structured log (JSON "
+                        "lines with trace ids) to FILE")
+    p.add_argument("--log-level", default="info",
+                   choices=("debug", "info", "warning", "error"),
+                   help="structured-log level (default info)")
     _add_backend(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("top",
+                       help="live terminal view of a serving process "
+                            "(polls its /metrics.json endpoint)")
+    p.add_argument("url",
+                   help="base URL or /metrics.json endpoint of a "
+                        "running `repro serve --metrics-port` process, "
+                        "e.g. http://127.0.0.1:9100")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="poll interval in seconds (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (for scripts/CI)")
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser("plan",
                        help="dry-run one full-scale configuration")

@@ -82,11 +82,15 @@ class PlanDiskCache:
             self.root.mkdir(parents=True, exist_ok=True)
             tmp.write_text(json.dumps(payload))
             os.replace(tmp, path)
-        except (OSError, TypeError, ValueError):
+        except (OSError, TypeError, ValueError) as exc:
             try:
                 tmp.unlink()
             except OSError:
                 pass
+            from ..obs.log import get_logger
+            get_logger().warning("diskcache.store_failed",
+                                 plan_key=repr(key), path=str(path),
+                                 error=f"{type(exc).__name__}: {exc}")
             return False
         return True
 

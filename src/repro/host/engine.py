@@ -42,6 +42,7 @@ from ..expr.lower import lower
 from ..expr.optimize import eliminate_common_subexpressions
 from ..expr.parser import parse
 from ..metrics import get_registry
+from ..obs.log import get_logger
 from ..primitives.base import PrimitiveRegistry, ResultKind
 from ..strategies import (CodegenInfo, ExecutionReport, ExecutionStrategy,
                           get_strategy)
@@ -282,6 +283,10 @@ class DerivedFieldEngine:
                                   source_kinds=source_kinds)
         self._m_compile_total.inc()
         self._m_compile_seconds.observe(time.perf_counter() - start)
+        get_logger().info("engine.compiled", tracer=tracer,
+                          expression=expression,
+                          device=self.device_spec.name,
+                          seconds=time.perf_counter() - start)
         compiled = CompiledExpression(expression, program.result_name,
                                       network)
         self._cache[key] = compiled
@@ -349,7 +354,8 @@ class DerivedFieldEngine:
         if prepared.key is None:
             with tracer.span("engine.execute", category="engine",
                              strategy=self.strategy.name,
-                             device=self.device_spec.name, cached=False):
+                             device=self.device_spec.name,
+                             cached=False) as exec_span:
                 env = CLEnvironment(self.device_spec, dry_run=self.dry_run,
                                     backend=self.env_backend, tracer=tracer)
                 anchor = tracer.now()
@@ -357,6 +363,7 @@ class DerivedFieldEngine:
                     report = self.strategy.execute(
                         prepared.compiled.network, prepared.bindings, env)
                 report.alloc = env.alloc_stats()
+                report.trace_id = exec_span.trace_id
                 self._trace_device_run(env, anchor)
                 self._observe_execute("uncached", start)
                 return report
@@ -369,12 +376,15 @@ class DerivedFieldEngine:
                 env = self._warm_environment()
                 env.reset_instrumentation()
                 plan, hit, disposition = self._obtain_plan(prepared)
+                tracer.note_plan(prepared.key, plan,
+                                 disposition=disposition)
                 anchor = tracer.now()
                 with tracer.span("plan.launch", category="engine"):
                     report = plan.run(plan.rebind(prepared.bindings,
                                                   prepared.sources), env)
                 report.cache = self.plan_cache.info(hit)
                 report.alloc = env.alloc_stats()
+                report.trace_id = exec_span.trace_id
                 if self.backend == "compiled":
                     ran_compiled = isinstance(plan, CompiledPlan)
                     report.codegen = CodegenInfo(
@@ -383,6 +393,12 @@ class DerivedFieldEngine:
                         disposition=disposition,
                         compiled=ran_compiled)
                 exec_span.annotate(cache_hit=hit)
+                log = get_logger()
+                if log.debug_enabled:
+                    log.debug("engine.execute", tracer=tracer,
+                              device=self.device_spec.name,
+                              plan_key=str(prepared.key),
+                              cache=disposition)
                 self._trace_device_run(env, anchor)
                 self._observe_execute("hit" if hit else "miss", start)
                 return report
@@ -446,6 +462,8 @@ class DerivedFieldEngine:
                 env = self._warm_environment()
                 env.reset_instrumentation()
                 plan, hit, disposition = self._obtain_plan(batch[0])
+                tracer.note_plan(batch[0].key, plan,
+                                 disposition=disposition)
                 reports: list[ExecutionReport] = []
                 captures = []
                 peak = 0
@@ -467,6 +485,7 @@ class DerivedFieldEngine:
                                          else self.env_backend),
                                 disposition=disposition,
                                 compiled=ran_compiled)
+                        report.trace_id = exec_span.trace_id
                         peak = max(peak, report.mem_high_water)
                         reports.append(report)
                         captures.append(cap.queue.log.events)
@@ -523,10 +542,18 @@ class DerivedFieldEngine:
             try:
                 plan = compile_plan(base, network, prepared.bindings,
                                     self.device_spec)
-            except Exception:
+            except Exception as exc:
                 self._m_codegen["fallbacks"].inc()
+                get_logger().warning(
+                    "codegen.fallback", tracer=tracer,
+                    device=self.device_spec.name,
+                    plan_key=str(prepared.key),
+                    error=f"{type(exc).__name__}: {exc}")
                 return base, "interpreter-fallback"
             self._m_codegen["compiles"].inc()
+            get_logger().info("codegen.compiled", tracer=tracer,
+                              device=self.device_spec.name,
+                              plan_key=str(prepared.key))
             if self.plan_disk is not None:
                 self.plan_disk.store(prepared.key, token, plan.entry())
             return plan, "cold-codegen"

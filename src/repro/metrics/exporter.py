@@ -1,11 +1,13 @@
 """Live metrics exposition over HTTP, stdlib only.
 
 :class:`MetricsServer` wraps :class:`http.server.ThreadingHTTPServer`
-in a daemon thread and serves two read-only endpoints from a
+in a daemon thread and serves read-only endpoints from a
 :class:`~repro.metrics.registry.MetricsRegistry`:
 
 * ``GET /metrics`` — Prometheus text exposition (scrape target);
-* ``GET /metrics.json`` — the JSON snapshot (``registry.snapshot()``).
+* ``GET /metrics.json`` — the JSON snapshot (``registry.snapshot()``);
+* any JSON routes registered via :meth:`MetricsServer.add_json_route`
+  (the serving layer mounts ``/healthz``, ``/readyz``, ``/debugz``).
 
 ``python -m repro serve --metrics-port N`` runs one of these next to
 the derived-field service; ``port=0`` binds an ephemeral port (the
@@ -13,6 +15,12 @@ bound port is on :attr:`MetricsServer.port`).  Rendering happens per
 request against live registry state — there is no caching and no
 write path, so the listener never perturbs the serving threads beyond
 the snapshot locks.
+
+HTTP behavior: every response carries a byte-accurate
+``Content-Length`` (label values are not restricted to ASCII — bodies
+are measured *after* UTF-8 encoding), unknown paths return a 404 with
+a JSON body listing the routes that do exist, and ``HEAD`` is
+supported on every route (same headers, no body).
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Callable, Optional
 
 from .prometheus import CONTENT_TYPE, render_prometheus
 from .registry import MetricsRegistry, get_registry
@@ -41,30 +49,50 @@ def write_metrics_json(path: str,
 
 
 class _Handler(BaseHTTPRequestHandler):
-    # Installed per-server via the class attribute below.
+    # Installed per-server via the class attributes below.
     registry: MetricsRegistry
+    routes: "dict[str, Callable[[], tuple[int, str, bytes]]]"
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
+    def _render(self, path: str) -> "tuple[int, str, bytes]":
+        """Resolve one request path to (status, content-type, body)."""
+        provider = self.routes.get(path)
+        if provider is None:
+            payload = {"error": "unknown path",
+                       "path": path,
+                       "routes": sorted(self.routes)}
+            return 404, "application/json", _encode_json(payload)
+        try:
+            return provider()
+        except Exception as exc:   # a broken route must not kill the
+            payload = {"error": type(exc).__name__,   # listener thread
+                       "detail": str(exc), "path": path}
+            return 500, "application/json", _encode_json(payload)
+
+    def _respond(self, *, include_body: bool) -> None:
         path = self.path.split("?", 1)[0]
-        if path == "/metrics":
-            body = render_prometheus(self.registry).encode("utf-8")
-            content_type = CONTENT_TYPE
-        elif path == "/metrics.json":
-            body = (json.dumps(self.registry.snapshot(), indent=2) + "\n"
-                    ).encode("utf-8")
-            content_type = "application/json"
-        else:
-            self.send_error(404, "unknown path; try /metrics "
-                                 "or /metrics.json")
-            return
-        self.send_response(200)
+        status, content_type, body = self._render(path)
+        self.send_response(status)
         self.send_header("Content-Type", content_type)
+        # len() after encoding: label values may be non-ASCII, and
+        # Content-Length counts bytes, not code points.
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
-        self.wfile.write(body)
+        if include_body:
+            self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._respond(include_body=True)
+
+    def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+        self._respond(include_body=False)
 
     def log_message(self, *args) -> None:  # silence per-request stderr
         pass
+
+
+def _encode_json(payload) -> bytes:
+    return (json.dumps(payload, indent=2, default=str) + "\n"
+            ).encode("utf-8")
 
 
 class MetricsServer:
@@ -76,13 +104,53 @@ class MetricsServer:
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  host: str = "127.0.0.1", port: int = 0):
         self.registry = get_registry() if registry is None else registry
+        self._routes: "dict[str, Callable]" = {
+            "/metrics": self._render_prometheus,
+            "/metrics.json": self._render_snapshot,
+        }
         handler = type("BoundMetricsHandler", (_Handler,),
-                       {"registry": self.registry})
+                       {"registry": self.registry,
+                        "routes": self._routes})
         self._server = ThreadingHTTPServer((host, port), handler)
         self._server.daemon_threads = True
         self.host = self._server.server_address[0]
         self.port = self._server.server_address[1]
         self._thread: Optional[threading.Thread] = None
+
+    # -- routes --------------------------------------------------------------
+
+    def _render_prometheus(self) -> "tuple[int, str, bytes]":
+        body = render_prometheus(self.registry).encode("utf-8")
+        return 200, CONTENT_TYPE, body
+
+    def _render_snapshot(self) -> "tuple[int, str, bytes]":
+        return 200, "application/json", \
+            _encode_json(self.registry.snapshot())
+
+    def add_json_route(self, path: str, provider: Callable) -> None:
+        """Mount a JSON endpoint at ``path``.  ``provider()`` returns
+        either a JSON-serializable payload (served with 200) or a
+        ``(status, payload)`` pair — the serving layer's ``/healthz``
+        uses the latter to flip to 503."""
+        if not path.startswith("/"):
+            raise ValueError(f"route path must start with '/': {path!r}")
+
+        def render() -> "tuple[int, str, bytes]":
+            result = provider()
+            if (isinstance(result, tuple) and len(result) == 2
+                    and isinstance(result[0], int)):
+                status, payload = result
+            else:
+                status, payload = 200, result
+            return status, "application/json", _encode_json(payload)
+
+        self._routes[path] = render
+
+    @property
+    def routes(self) -> "tuple[str, ...]":
+        return tuple(sorted(self._routes))
+
+    # -- lifecycle -----------------------------------------------------------
 
     def url(self, path: str = "/metrics") -> str:
         return f"http://{self.host}:{self.port}{path}"

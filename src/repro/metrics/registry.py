@@ -362,7 +362,10 @@ class MetricsRegistry:
 
         Counter/gauge samples carry ``"value"``; histogram samples carry
         ``"count"``, ``"sum"``, and cumulative ``"buckets"`` keyed by
-        upper bound (``"+Inf"`` last).
+        upper bound (``"+Inf"`` last).  Histogram families additionally
+        carry ``"bounds"`` — the ordered finite upper bounds — so JSON
+        consumers (``repro top``, the SLO tracker) can interpolate
+        quantiles without parsing Prometheus text.
         """
         out: dict[str, dict] = {}
         for metric in self.collect():
@@ -380,9 +383,12 @@ class MetricsRegistry:
                 else:
                     samples.append({"labels": labels,
                                     "value": child.value})
-            out[metric.name] = {"type": metric.TYPE,
-                                "help": metric.help,
-                                "samples": samples}
+            family = {"type": metric.TYPE,
+                      "help": metric.help,
+                      "samples": samples}
+            if metric.TYPE == "histogram":
+                family["bounds"] = list(metric.buckets)
+            out[metric.name] = family
         return out
 
     def value(self, name: str, **labels: str) -> float:

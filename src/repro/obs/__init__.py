@@ -1,0 +1,43 @@
+"""``repro.obs`` — always-on observability for the serving stack.
+
+Four cooperating pieces (see DESIGN.md §12):
+
+* :class:`FlightRecorder` — a bounded :class:`~repro.trace.Tracer`
+  subclass that passively summarizes *every* request into a ring of
+  :class:`RequestRecord` objects, even with ``--trace-dir`` off;
+* :class:`StructuredLogger` — JSON-lines records stamped with
+  ``trace_id``/``span_id``, ring-buffered and optionally streamed;
+* :class:`SloTracker` — per-expression rolling p99 / error-burn-rate
+  windows behind ``repro_slo_*`` metrics, ``/healthz``, and the
+  tail-outlier trigger;
+* :class:`BundleWriter` + :class:`Observability` — tail-sampled debug
+  bundles: anomalous requests (failure, deadline miss, cancellation,
+  codegen fallback, latency outlier) dump a self-contained directory
+  of trace + report + plan + metrics + log slice.
+"""
+
+from .bundles import BUNDLE_SCHEMA, BundleWriter
+from .log import LEVELS, NULL_LOGGER, StructuredLogger, get_logger, \
+    set_logger
+from .manager import Observability
+from .recorder import DeviceEventBatch, FlightRecorder, PlanNote, \
+    RequestRecord, SpanSummary
+from .slo import SloTracker, SloVerdict
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "BundleWriter",
+    "DeviceEventBatch",
+    "FlightRecorder",
+    "LEVELS",
+    "NULL_LOGGER",
+    "Observability",
+    "PlanNote",
+    "RequestRecord",
+    "SloTracker",
+    "SloVerdict",
+    "SpanSummary",
+    "StructuredLogger",
+    "get_logger",
+    "set_logger",
+]

@@ -1,0 +1,163 @@
+"""Debug bundles: self-contained on-disk captures of anomalous requests.
+
+When the observability manager decides a request is worth keeping —
+it failed, missed its deadline, was cancelled, fell back from codegen,
+or landed above the rolling p99 outlier threshold — the
+:class:`BundleWriter` dumps everything the flight recorder, metrics
+registry, and structured log hold about that one request into a
+directory:
+
+    <root>/0007-deadline-miss-c3f1a2b9/
+        manifest.json   trigger, ids, status, plan, device digest
+        trace.json      Chrome trace reconstructed from the ring
+        report.json     ExecutionReport.to_json() (null if none)
+        plan.json       plan key, cache disposition, generated source
+        metrics.json    full registry snapshot at capture time
+        log.jsonl       structured-log slice for the trace + context
+
+Everything in the bundle cross-references by ``trace_id``, so
+``chrome://tracing`` lanes, report counters, and log lines line up.
+The writer is bounded (``max_bundles``); beyond the cap it counts
+skips instead of filling the disk.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+from ..trace.chrome import chrome_trace_events
+
+__all__ = ["BundleWriter", "BUNDLE_SCHEMA"]
+
+BUNDLE_SCHEMA = "repro-debug-bundle-v1"
+DEFAULT_MAX_BUNDLES = 64
+
+# Everything the manager may trigger on.
+TRIGGERS = ("failure", "deadline-miss", "cancellation",
+            "codegen-fallback", "latency-outlier")
+
+
+class BundleWriter:
+    """Writes bounded per-request debug bundles under one root dir."""
+
+    def __init__(self, root, *, max_bundles: int = DEFAULT_MAX_BUNDLES):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bundles = max_bundles
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.written = 0
+        self.skipped = 0
+
+    # -- write path ----------------------------------------------------------
+
+    def write(self, *, trigger: str, record, request=None, report=None,
+              recorder=None, registry=None, logger=None,
+              reason: Optional[str] = None) -> Optional[Path]:
+        """Dump one bundle; returns its directory (None when over the
+        cap or the record is missing).  Exceptions do not escape — a
+        broken bundle write must never take down request resolution."""
+        with self._lock:
+            if self.written >= self.max_bundles:
+                self.skipped += 1
+                return None
+            self._seq += 1
+            seq = self._seq
+        trace_id = getattr(record, "trace_id", None)
+        stem = f"{seq:04d}-{trigger}-{(trace_id or 'untraced')[:8]}"
+        bundle = self.root / stem
+        try:
+            bundle.mkdir(parents=True, exist_ok=True)
+            self._write_manifest(bundle, trigger, record, request,
+                                 report, reason)
+            self._write_trace(bundle, record, recorder)
+            self._write_json(bundle / "report.json",
+                             None if report is None else report.to_json())
+            self._write_json(bundle / "plan.json",
+                             None if getattr(record, "plan", None) is None
+                             else record.plan.to_json())
+            if registry is not None:
+                self._write_json(bundle / "metrics.json",
+                                 registry.snapshot())
+            if logger is not None:
+                lines = logger.slice_for(trace_id)
+                with open(bundle / "log.jsonl", "w") as fh:
+                    for line in lines:
+                        fh.write(json.dumps(line, default=str) + "\n")
+        except Exception:
+            with self._lock:
+                self.skipped += 1
+            return None
+        with self._lock:
+            self.written += 1
+        return bundle
+
+    def _write_manifest(self, bundle: Path, trigger: str, record,
+                        request, report, reason) -> None:
+        manifest = {
+            "schema": BUNDLE_SCHEMA,
+            "created_at": time.time(),
+            "trigger": trigger,
+            "reason": reason,
+            "trace_id": getattr(record, "trace_id", None),
+            "request_id": getattr(record, "request_id", None),
+            "expression": getattr(record, "expression", None),
+            "status": getattr(record, "status", None),
+            "device": getattr(record, "device", None),
+            "latency_s": getattr(record, "latency_s", None),
+            "plan": (None if getattr(record, "plan", None) is None
+                     else record.plan.to_json()),
+            "device_digest": (record.device_digest()
+                              if hasattr(record, "device_digest")
+                              else {}),
+            "dropped_spans": getattr(record, "dropped_spans", 0),
+            "dropped_device_batches": getattr(record,
+                                              "dropped_batches", 0),
+            "files": ["manifest.json", "trace.json", "report.json",
+                      "plan.json", "metrics.json", "log.jsonl"],
+        }
+        self._write_json(bundle / "manifest.json", manifest)
+
+    def _write_trace(self, bundle: Path, record, recorder) -> None:
+        if recorder is not None and hasattr(recorder, "trace_view"):
+            view = recorder.trace_view(record)
+        else:
+            view = record
+        events = chrome_trace_events(view)
+        self._write_json(bundle / "trace.json",
+                         {"traceEvents": events,
+                          "displayTimeUnit": "ms"})
+
+    @staticmethod
+    def _write_json(path: Path, payload) -> None:
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+            fh.write("\n")
+
+    # -- read side (``/debugz``) ---------------------------------------------
+
+    def index(self) -> "list[dict]":
+        """Manifests of every bundle under the root, oldest first."""
+        out = []
+        for manifest_path in sorted(self.root.glob("*/manifest.json")):
+            try:
+                with open(manifest_path) as fh:
+                    manifest = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            manifest["path"] = str(manifest_path.parent)
+            out.append(manifest)
+        return out
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "max_bundles": self.max_bundles,
+                "written": self.written,
+                "skipped": self.skipped,
+            }

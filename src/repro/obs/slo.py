@@ -1,0 +1,237 @@
+"""SLO tracking: rolling per-expression latency and error-burn windows.
+
+:class:`SloTracker` watches every resolved request and answers two
+questions the aggregate metrics cannot:
+
+* **is this request anomalous?** — a served request whose latency
+  exceeds ``outlier_factor`` x the expression's rolling p99 (computed
+  over a bounded sample window, refreshed periodically, active only
+  after ``warmup`` observations) is a *tail outlier*, which is what
+  tells the debug-bundle layer to keep its flight-recorder capture;
+* **is the service healthy?** — failures and deadline misses burn the
+  per-expression error budget (``1 - availability_objective``) over a
+  sliding time window; when the burn rate exceeds ``burn_limit`` with
+  enough volume to mean anything, ``/healthz`` flips to 503.
+
+Everything is exposed as ``repro_slo_*`` families on the service's
+metrics registry, so ``repro top`` and Prometheus see the same numbers
+the health endpoint decides on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+__all__ = ["SloTracker", "SloVerdict"]
+
+DEFAULT_WINDOW = 512           # latency samples kept per expression
+DEFAULT_WARMUP = 64            # observations before outlier checks arm
+DEFAULT_REFRESH = 16           # recompute the cached p99 every N samples
+DEFAULT_TIME_WINDOW_S = 60.0   # error burn-rate sliding window
+DEFAULT_OBJECTIVE = 0.999      # availability objective (error budget 0.1%)
+DEFAULT_BURN_LIMIT = 2.0       # burn > 2x budget -> unhealthy
+DEFAULT_MIN_VOLUME = 20        # window observations before health can fail
+DEFAULT_OUTLIER_FACTOR = 3.0   # latency > factor * p99 -> tail outlier
+
+
+class SloVerdict:
+    """What the tracker concluded about one observation."""
+
+    __slots__ = ("outlier", "p99_s", "threshold_s", "burn_rate",
+                 "error_ratio")
+
+    def __init__(self, outlier: bool, p99_s: Optional[float],
+                 threshold_s: Optional[float], burn_rate: float,
+                 error_ratio: float):
+        self.outlier = outlier
+        self.p99_s = p99_s
+        self.threshold_s = threshold_s
+        self.burn_rate = burn_rate
+        self.error_ratio = error_ratio
+
+
+class _ExpressionSlo:
+    """Rolling windows for one expression label."""
+
+    __slots__ = ("latencies", "events", "count", "p99", "since_refresh",
+                 "errors", "outliers")
+
+    def __init__(self, window: int):
+        self.latencies: "deque[float]" = deque(maxlen=window)
+        self.events: "deque[tuple[float, bool]]" = deque()
+        self.count = 0
+        self.p99: Optional[float] = None
+        self.since_refresh = 0
+        self.errors = 0          # errors currently inside the window
+        self.outliers = 0
+
+
+class SloTracker:
+    """Per-expression latency/error SLO windows (module docstring)."""
+
+    def __init__(self, registry=None, *,
+                 window: int = DEFAULT_WINDOW,
+                 warmup: int = DEFAULT_WARMUP,
+                 refresh_every: int = DEFAULT_REFRESH,
+                 time_window_s: float = DEFAULT_TIME_WINDOW_S,
+                 availability_objective: float = DEFAULT_OBJECTIVE,
+                 burn_limit: float = DEFAULT_BURN_LIMIT,
+                 min_volume: int = DEFAULT_MIN_VOLUME,
+                 outlier_factor: float = DEFAULT_OUTLIER_FACTOR,
+                 clock=time.monotonic):
+        if not 0.0 < availability_objective < 1.0:
+            raise ValueError("availability objective must be in (0, 1): "
+                             f"{availability_objective}")
+        self.window = window
+        self.warmup = max(warmup, 2)
+        self.refresh_every = max(refresh_every, 1)
+        self.time_window_s = time_window_s
+        self.objective = availability_objective
+        self.error_budget = 1.0 - availability_objective
+        self.burn_limit = burn_limit
+        self.min_volume = min_volume
+        self.outlier_factor = outlier_factor
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._expressions: "dict[str, _ExpressionSlo]" = {}
+        self._instruments = None
+        if registry is not None:
+            self.bind_registry(registry)
+
+    def bind_registry(self, registry) -> None:
+        """Register the ``repro_slo_*`` families on ``registry``."""
+        self._instruments = {
+            "p99": registry.gauge(
+                "repro_slo_latency_p99_seconds",
+                "Rolling per-expression p99 of served-request latency",
+                ("expression",)),
+            "burn": registry.gauge(
+                "repro_slo_error_burn_rate",
+                "Error-budget burn rate over the sliding window "
+                "(1.0 = burning exactly the budget)", ("expression",)),
+            "outliers": registry.counter(
+                "repro_slo_latency_outliers_total",
+                "Served requests whose latency exceeded the rolling "
+                "p99 outlier threshold", ("expression",)),
+            "errors": registry.counter(
+                "repro_slo_errors_total",
+                "Requests that burned error budget (failed or "
+                "timed out)", ("expression",)),
+            "observed": registry.counter(
+                "repro_slo_observations_total",
+                "Requests observed by the SLO tracker", ("expression",)),
+            "healthy": registry.gauge(
+                "repro_slo_healthy",
+                "1 while every expression's burn rate is within the "
+                "limit, else 0"),
+        }
+        self._instruments["healthy"].set(1.0)
+
+    # -- observation ---------------------------------------------------------
+
+    def observe(self, expression: str, latency_s: float, *,
+                ok: bool, now: Optional[float] = None) -> SloVerdict:
+        """Fold one resolved request in; returns the verdict."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            state = self._expressions.get(expression)
+            if state is None:
+                state = self._expressions[expression] \
+                    = _ExpressionSlo(self.window)
+            state.count += 1
+            # Error burn window.
+            state.events.append((now, ok))
+            if not ok:
+                state.errors += 1
+            self._prune(state, now)
+            total = len(state.events)
+            error_ratio = state.errors / total if total else 0.0
+            burn = error_ratio / self.error_budget
+            # Latency window + outlier check (served requests only:
+            # errored latencies describe the failure, not the tail).
+            outlier = False
+            threshold = None
+            if ok:
+                p99 = state.p99
+                if p99 is not None and state.count > self.warmup:
+                    threshold = p99 * self.outlier_factor
+                    outlier = latency_s > threshold
+                state.latencies.append(latency_s)
+                state.since_refresh += 1
+                if (state.p99 is None
+                        or state.since_refresh >= self.refresh_every):
+                    ordered = sorted(state.latencies)
+                    rank = max(int(0.99 * len(ordered)) - 1, 0)
+                    state.p99 = ordered[min(rank + 1,
+                                            len(ordered) - 1)]
+                    state.since_refresh = 0
+                if outlier:
+                    state.outliers += 1
+            p99_out = state.p99
+        inst = self._instruments
+        if inst is not None:
+            label = {"expression": expression}
+            inst["observed"].labels(**label).inc()
+            if p99_out is not None:
+                inst["p99"].labels(**label).set(p99_out)
+            inst["burn"].labels(**label).set(burn)
+            if not ok:
+                inst["errors"].labels(**label).inc()
+            if outlier:
+                inst["outliers"].labels(**label).inc()
+            inst["healthy"].set(1.0 if self.healthy() else 0.0)
+        return SloVerdict(outlier, p99_out, threshold, burn, error_ratio)
+
+    def _prune(self, state: _ExpressionSlo, now: float) -> None:
+        horizon = now - self.time_window_s
+        events = state.events
+        while events and events[0][0] < horizon:
+            _, was_ok = events.popleft()
+            if not was_ok:
+                state.errors -= 1
+
+    # -- health --------------------------------------------------------------
+
+    def expression_summary(self, now: Optional[float] = None) -> dict:
+        now = self._clock() if now is None else now
+        out = {}
+        with self._lock:
+            for name, state in self._expressions.items():
+                self._prune(state, now)
+                total = len(state.events)
+                ratio = state.errors / total if total else 0.0
+                burn = ratio / self.error_budget
+                out[name] = {
+                    "observed": state.count,
+                    "window_requests": total,
+                    "window_errors": state.errors,
+                    "error_ratio": ratio,
+                    "burn_rate": burn,
+                    "p99_s": state.p99,
+                    "outliers": state.outliers,
+                    "burning": (burn > self.burn_limit
+                                and total >= self.min_volume),
+                }
+        return out
+
+    def healthy(self) -> bool:
+        return not any(row["burning"]
+                       for row in self.expression_summary().values())
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload: overall verdict plus per-expression
+        windows and which expressions are burning."""
+        expressions = self.expression_summary()
+        burning = sorted(name for name, row in expressions.items()
+                         if row["burning"])
+        return {
+            "healthy": not burning,
+            "burning": burning,
+            "objective": self.objective,
+            "burn_limit": self.burn_limit,
+            "window_seconds": self.time_window_s,
+            "expressions": expressions,
+        }

@@ -1,0 +1,212 @@
+"""``python -m repro top`` — a live terminal view of a serving process.
+
+Polls a :class:`~repro.metrics.MetricsServer`'s ``/metrics.json``
+endpoint and renders a compact dashboard: request throughput and
+outcome mix, latency quantiles interpolated from histogram buckets
+(the snapshot carries the bucket *bounds*, so no Prometheus text
+parsing), per-expression SLO state (p99 / burn rate / outliers), and
+per-device utilization counters.
+
+``render_top`` is a pure function of two snapshots plus the poll
+interval, so tests drive it without a server; ``run_top`` is the
+polling loop the CLI calls (``--once`` prints a single frame, for CI).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+from typing import Optional
+
+__all__ = ["quantile_from_buckets", "render_top", "run_top"]
+
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+def quantile_from_buckets(bounds, cumulative, q: float,
+                          ) -> Optional[float]:
+    """Estimate quantile ``q`` from a cumulative histogram.
+
+    ``bounds`` are the finite upper bounds (sorted), ``cumulative`` the
+    matching cumulative counts plus a final +Inf count.  Linear
+    interpolation inside the winning bucket, the standard Prometheus
+    ``histogram_quantile`` construction.  Returns None on no data.
+    """
+    if not cumulative:
+        return None
+    total = cumulative[-1]
+    if total <= 0:
+        return None
+    rank = q * total
+    prev_bound = 0.0
+    prev_count = 0
+    for bound, count in zip(bounds, cumulative):
+        if count >= rank:
+            span = count - prev_count
+            if span <= 0:
+                return bound
+            frac = (rank - prev_count) / span
+            return prev_bound + (bound - prev_bound) * frac
+        prev_bound, prev_count = bound, count
+    # Quantile lands in the +Inf bucket: report the largest finite bound.
+    return bounds[-1] if bounds else None
+
+
+def _histogram(snapshot: dict, name: str) -> Optional[dict]:
+    family = snapshot.get(name)
+    if not family or family.get("type") != "histogram":
+        return None
+    return family
+
+
+def _sum_counter(snapshot: dict, name: str) -> float:
+    family = snapshot.get(name)
+    if not family:
+        return 0.0
+    return sum(sample.get("value", 0.0)
+               for sample in family.get("samples", []))
+
+
+def _labeled(snapshot: dict, name: str) -> "dict[tuple, float]":
+    family = snapshot.get(name)
+    if not family:
+        return {}
+    out = {}
+    for sample in family.get("samples", []):
+        labels = tuple(sorted(sample.get("labels", {}).items()))
+        out[labels] = sample.get("value", 0.0)
+    return out
+
+
+def _latency_lines(snapshot: dict) -> "list[str]":
+    family = _histogram(snapshot, "repro_service_request_latency_seconds")
+    if family is None:
+        return ["  (no latency histogram)"]
+    bounds = family.get("bounds")
+    lines = []
+    for sample in family.get("samples", []):
+        if bounds is None:
+            lines.append("  (snapshot lacks bucket bounds; "
+                         "upgrade the serving process)")
+            break
+        buckets = sample.get("buckets", {})
+        ordered = [buckets.get(_label(bound), 0) for bound in bounds]
+        ordered.append(sample.get("count", 0))
+        labels = dict(sample.get("labels", {}))
+        tag = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        cells = []
+        for q in QUANTILES:
+            est = quantile_from_buckets(bounds, ordered, q)
+            cells.append(f"p{int(q * 100)}={_fmt_s(est)}")
+        lines.append(f"  {tag or 'all':<28} "
+                     f"n={sample.get('count', 0):<8} "
+                     + "  ".join(cells))
+    return lines or ["  (no latency samples yet)"]
+
+
+def _label(bound: float) -> str:
+    # Mirror of repro.metrics.registry.bucket_label for finite bounds.
+    text = repr(float(bound))
+    return text
+
+
+def _fmt_s(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.0f}us"
+
+
+def _slo_lines(snapshot: dict) -> "list[str]":
+    p99 = _labeled(snapshot, "repro_slo_latency_p99_seconds")
+    burn = _labeled(snapshot, "repro_slo_error_burn_rate")
+    outliers = _labeled(snapshot, "repro_slo_latency_outliers_total")
+    if not p99 and not burn:
+        return ["  (no SLO data)"]
+    lines = []
+    for labels in sorted(set(p99) | set(burn)):
+        name = dict(labels).get("expression", "?")
+        lines.append(
+            f"  {name:<28} p99={_fmt_s(p99.get(labels))}"
+            f"  burn={burn.get(labels, 0.0):.2f}"
+            f"  outliers={int(outliers.get(labels, 0))}")
+    healthy = snapshot.get("repro_slo_healthy")
+    if healthy is not None and healthy.get("samples"):
+        ok = healthy["samples"][0].get("value", 1.0) >= 1.0
+        lines.append(f"  health: {'OK' if ok else 'BURNING'}")
+    return lines
+
+
+def render_top(snapshot: dict, prev: Optional[dict] = None,
+               interval: float = 2.0) -> str:
+    """One dashboard frame from a ``/metrics.json`` snapshot."""
+    resolved = _sum_counter(snapshot, "repro_service_requests_total")
+    rate = None
+    if prev is not None and interval > 0:
+        before = _sum_counter(prev, "repro_service_requests_total")
+        rate = max(resolved - before, 0.0) / interval
+    outcomes = _labeled(snapshot, "repro_service_requests_total")
+    outcome_bits = []
+    for labels, value in sorted(outcomes.items()):
+        if not value:
+            continue
+        status = dict(labels).get("outcome", "?")
+        outcome_bits.append(f"{status}={int(value)}")
+    submitted = _sum_counter(snapshot,
+                             "repro_service_requests_submitted_total")
+    inflight = max(submitted - resolved, 0.0)
+    depth = _sum_counter(snapshot, "repro_service_queue_depth")
+    lines = [
+        "repro top — derived-field service",
+        f"resolved: {int(resolved)}"
+        + (f"  ({rate:.1f} rps)" if rate is not None else "")
+        + f"  in-flight: {int(inflight)}  queue: {int(depth)}",
+        "outcomes: " + (" ".join(outcome_bits) or "(none)"),
+        "",
+        "latency (from histogram buckets):",
+        *_latency_lines(snapshot),
+        "",
+        "slo:",
+        *_slo_lines(snapshot),
+    ]
+    return "\n".join(lines)
+
+
+def fetch_snapshot(url: str, timeout: float = 5.0) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def run_top(url: str, *, interval: float = 2.0, once: bool = False,
+            iterations: Optional[int] = None, out=None) -> int:
+    """Poll ``url`` (a ``/metrics.json`` endpoint) and render frames.
+
+    ``once`` prints a single frame and exits (CI / smoke tests);
+    ``iterations`` bounds the loop for tests.  Returns an exit code.
+    """
+    import sys
+    out = sys.stdout if out is None else out
+    if not url.endswith("/metrics.json"):
+        url = url.rstrip("/") + "/metrics.json"
+    prev = None
+    count = 0
+    while True:
+        try:
+            snapshot = fetch_snapshot(url)
+        except OSError as exc:
+            print(f"repro top: cannot reach {url}: {exc}", file=out)
+            return 1
+        frame = render_top(snapshot, prev, interval)
+        if not once and out.isatty():
+            out.write("\x1b[2J\x1b[H")
+        out.write(frame + "\n")
+        out.flush()
+        count += 1
+        if once or (iterations is not None and count >= iterations):
+            return 0
+        prev = snapshot
+        time.sleep(interval)

@@ -62,7 +62,9 @@ def build_service(devices: Sequence = ("cpu",),
                   default_timeout: Optional[float] = None,
                   start: bool = True,
                   tracer=None,
-                  metrics_registry=None) -> DerivedFieldService:
+                  metrics_registry=None,
+                  obs=None,
+                  debug_bundle_dir=None) -> DerivedFieldService:
     """Construct a :class:`DerivedFieldService` with the *same* engine-
     option spelling the engine and ``derive`` CLI use.
 
@@ -80,7 +82,7 @@ def build_service(devices: Sequence = ("cpu",),
         plan_cache_dir=plan_cache_dir, max_batch=max_batch,
         batch_window=batch_window, default_timeout=default_timeout,
         start=start, tracer=tracer, metrics_registry=metrics_registry,
-        **kwargs)
+        obs=obs, debug_bundle_dir=debug_bundle_dir, **kwargs)
 
 
 class LoadCase:
@@ -111,7 +113,8 @@ def run_load(service: DerivedFieldService, cases: Sequence[LoadCase], *,
              clients: int, requests: int,
              timeout: Optional[float] = None,
              mode: str = "closed",
-             rate_rps: Optional[float] = None) -> dict:
+             rate_rps: Optional[float] = None,
+             inject_deadline_miss: int = 0) -> dict:
     """Drive ``requests`` total requests through the service; returns the
     JSON-able load report.
 
@@ -122,6 +125,12 @@ def run_load(service: DerivedFieldService, cases: Sequence[LoadCase], *,
     fast as it can), then collects every outcome — arrivals are
     independent of service speed, which is what queues up the same-plan
     neighbors micro-batching coalesces.  ``clients`` is ignored open-loop.
+
+    ``inject_deadline_miss`` forces the first N submitted requests to
+    report an expired deadline at the worker's post-execution checkpoint
+    (:meth:`~repro.service.request.ServiceRequest.force_deadline_miss`)
+    — a deterministic fault injection that exercises deadline-miss debug
+    bundles and the SLO error-burn path without racing real clocks.
     """
     if mode not in ("closed", "open"):
         raise ValueError(f"load mode must be 'closed' or 'open': {mode!r}")
@@ -132,6 +141,7 @@ def run_load(service: DerivedFieldService, cases: Sequence[LoadCase], *,
 
     counter_lock = threading.Lock()
     next_index = 0
+    injected = 0
 
     def take_index() -> Optional[int]:
         nonlocal next_index
@@ -141,6 +151,16 @@ def run_load(service: DerivedFieldService, cases: Sequence[LoadCase], *,
             index = next_index
             next_index += 1
             return index
+
+    def maybe_inject(handle) -> None:
+        nonlocal injected
+        if injected >= inject_deadline_miss:
+            return
+        with counter_lock:
+            if injected >= inject_deadline_miss:
+                return
+            injected += 1
+        handle.force_deadline_miss()
 
     outcomes = ["unresolved"] * requests
 
@@ -167,6 +187,7 @@ def run_load(service: DerivedFieldService, cases: Sequence[LoadCase], *,
             except ServiceOverloaded:
                 outcomes[index] = "rejected"
                 continue
+            maybe_inject(handle)
             settle(index, handle)
 
     def open_loop() -> float:
@@ -188,6 +209,7 @@ def run_load(service: DerivedFieldService, cases: Sequence[LoadCase], *,
             except ServiceOverloaded:
                 outcomes[index] = "rejected"
                 continue
+            maybe_inject(handle)
             handles.append((index, handle))
         for index, handle in handles:
             settle(index, handle)
@@ -230,6 +252,9 @@ def run_load(service: DerivedFieldService, cases: Sequence[LoadCase], *,
         "batching": snapshot["batching"],
         "devices": snapshot["devices"],
         "queue_peak_depth": snapshot["queue"]["peak_depth"],
+        "traces": snapshot["traces"],
+        "observability": snapshot.get("observability"),
+        "injected_deadline_misses": injected,
     }
 
 

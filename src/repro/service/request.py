@@ -95,6 +95,7 @@ class ServiceRequest:
         self._lock = threading.Lock()
         self._done = threading.Event()
         self._cancel = threading.Event()
+        self._force_miss = False
         self._callbacks: list = []
 
     # -- client API (concurrent.futures.Future protocol) ---------------------
@@ -204,7 +205,19 @@ class ServiceRequest:
             if self._status is RequestStatus.DISPATCHED:
                 self._status = RequestStatus.RUNNING
 
+    def force_deadline_miss(self) -> None:
+        """Make this request report an expired deadline at the worker's
+        *post-execution* checkpoint — and only there.  The request runs
+        normally (its :class:`ExecutionReport` is computed and kept),
+        then deterministically resolves TIMED_OUT.  This is the fault
+        injection the obs-smoke CI job and the loadgen's
+        ``inject_deadline_miss`` use to exercise debug bundles without
+        racing a real clock."""
+        self._force_miss = True
+
     def deadline_expired(self, now: Optional[float] = None) -> bool:
+        if self._force_miss and self._status is RequestStatus.RUNNING:
+            return True
         if self.deadline is None:
             return False
         return (time.monotonic() if now is None else now) > self.deadline
@@ -255,10 +268,17 @@ class ServiceRequest:
         outcome accounting matches what the submitter was told."""
         return self._resolve(RequestStatus.REJECTED, error=error)
 
-    def resolve_timed_out(self, where: str) -> bool:
-        return self._resolve(RequestStatus.TIMED_OUT, error=RequestTimedOut(
-            f"request #{self.id} ({self.expression}) exceeded its "
-            f"deadline {where}"))
+    def resolve_timed_out(self, where: str,
+                          report: "Optional[ExecutionReport]" = None,
+                          ) -> bool:
+        """``report`` carries the execution's report when the deadline
+        expired *after* the launch completed — :meth:`result` still
+        raises (the contract was missed), but observability keeps the
+        evidence of what the late execution actually did."""
+        return self._resolve(RequestStatus.TIMED_OUT, report=report,
+                             error=RequestTimedOut(
+                                 f"request #{self.id} ({self.expression}) "
+                                 f"exceeded its deadline {where}"))
 
     def resolve_cancelled(self) -> bool:
         return self._resolve(RequestStatus.CANCELLED, error=RequestCancelled(

@@ -44,6 +44,8 @@ from ..clsim.device import DeviceSpec, DeviceType
 from ..codegen import PlanDiskCache
 from ..errors import ServiceClosed
 from ..metrics import MetricsRegistry
+from ..obs import Observability
+from ..obs.log import get_logger
 from ..strategies.bindings import BindingInput
 from ..strategies.plancache import PlanCache
 from ..trace import NULL_TRACER, Tracer
@@ -100,7 +102,9 @@ class DerivedFieldService:
                  batch_window: float = 0.0,
                  start: bool = True,
                  tracer: Optional[Tracer] = None,
-                 metrics_registry: Optional[MetricsRegistry] = None):
+                 metrics_registry: Optional[MetricsRegistry] = None,
+                 obs: "Union[Observability, None, bool]" = None,
+                 debug_bundle_dir=None):
         if not devices:
             raise ValueError("service needs at least one device")
         if max_batch < 1:
@@ -109,7 +113,29 @@ class DerivedFieldService:
             raise ValueError(f"batch_window must be >= 0: {batch_window}")
         self.max_batch = max_batch
         self.batch_window = batch_window
-        self.tracer = NULL_TRACER if tracer is None else tracer
+        # Observability (DESIGN.md §12): on by default.  ``obs=False``
+        # turns the layer off entirely; ``obs=None`` builds the default
+        # flight-recorder manager; an explicit Observability is used
+        # as-is.  ``debug_bundle_dir`` arms tail-sampled debug bundles.
+        if obs is False:
+            self.obs: Optional[Observability] = None
+        elif obs is None:
+            self.obs = Observability(bundle_dir=debug_bundle_dir)
+        else:
+            self.obs = obs
+            if debug_bundle_dir is not None and self.obs.bundles is None:
+                from ..obs.bundles import BundleWriter
+                self.obs.bundles = BundleWriter(debug_bundle_dir)
+        # The flight recorder doubles as the default tracer, so every
+        # request records passively even with tracing "off"; an explicit
+        # tracer wins (and the recorder then only sees what the serving
+        # layer reports through attach_result).
+        if tracer is not None:
+            self.tracer: Tracer = tracer
+        elif self.obs is not None:
+            self.tracer = self.obs.recorder
+        else:
+            self.tracer = NULL_TRACER
         self.plan_cache = PlanCache(plan_cache_size)
         # One shared disk cache: any worker's cold codegen persists the
         # plan, and a restarted service warms from it on first touch.
@@ -121,6 +147,8 @@ class DerivedFieldService:
         # this instance.  Pass repro.metrics.get_registry() to expose the
         # service on the process-wide /metrics endpoint instead.
         self.metrics = ServiceMetrics(registry=metrics_registry)
+        if self.obs is not None:
+            self.obs.bind_registry(self.metrics.registry)
         self.default_timeout = default_timeout
         self._queue = AdmissionQueue(queue_depth, gauge=self._gauge)
         self._scheduler = LeastLoadedScheduler(self.plan_cache,
@@ -268,7 +296,44 @@ class DerivedFieldService:
 
     def snapshot(self) -> dict:
         """Point-in-time JSON-able metrics (see :class:`ServiceMetrics`)."""
-        return self.metrics.snapshot()
+        snap = self.metrics.snapshot()
+        if self.obs is not None:
+            snap["observability"] = self.obs.snapshot()
+        return snap
+
+    # -- health / debug surfaces ---------------------------------------------
+
+    def health(self) -> "tuple[int, dict]":
+        """The ``/healthz`` payload: (HTTP status, body).  503 while any
+        expression burns its error budget past the limit, or after
+        shutdown began."""
+        if self.obs is None:
+            payload: dict = {"healthy": not self._closed,
+                             "observability": "disabled"}
+        else:
+            payload = self.obs.health()
+        if self._closed:
+            payload["healthy"] = False
+            payload["closed"] = True
+        return (200 if payload.get("healthy") else 503), payload
+
+    def readiness(self) -> "tuple[int, dict]":
+        """The ``/readyz`` payload: 200 once workers are started and the
+        service accepts submissions, 503 before start or after close."""
+        ready = self._started and not self._closed
+        return (200 if ready else 503), {
+            "ready": ready,
+            "started": self._started,
+            "closed": self._closed,
+            "workers": len(self.workers),
+            "queue_depth": len(self._queue),
+        }
+
+    def debug_index(self) -> dict:
+        """The ``/debugz`` payload (empty shell when obs is off)."""
+        if self.obs is None:
+            return {"observability": "disabled"}
+        return self.obs.debug_index()
 
     # -- internals ----------------------------------------------------------
 
@@ -292,6 +357,11 @@ class DerivedFieldService:
                 continue
             if request.deadline_expired():
                 if request.resolve_timed_out("in the admission queue"):
+                    get_logger().warning("dispatch.deadline_miss",
+                                         request=request.id,
+                                         trace_id=request.trace_id,
+                                         expression=request.expression,
+                                         where="admission queue")
                     self._request_done(request)
                 continue
             batch = self._coalesce(request)
@@ -325,6 +395,14 @@ class DerivedFieldService:
         """Terminal bookkeeping for every admitted request (worker and
         dispatcher resolutions both land here exactly once)."""
         self.metrics.record_result(request)
+        if self.obs is not None:
+            # Exception-safe by contract (Observability.on_request_done
+            # never raises), but this path runs on worker/dispatcher
+            # threads — belt and braces.
+            try:
+                self.obs.on_request_done(request)
+            except Exception:  # pragma: no cover - defensive
+                pass
         with self._idle:
             self._inflight -= 1
             self._idle.notify_all()

@@ -34,6 +34,7 @@ from typing import Callable, Optional, Union
 
 from ..clsim.device import DeviceSpec, DeviceType
 from ..host.engine import DerivedFieldEngine
+from ..obs.log import get_logger
 from ..strategies.plancache import PlanCache, PlanKey
 from .metrics import ServiceMetrics
 from .request import ServiceRequest
@@ -177,19 +178,28 @@ class DeviceWorker:
                 busy = time.perf_counter() - start
                 self.metrics.record_execution(self.name, busy, 0.0,
                                               cache_hit=None, failed=True)
+                get_logger().error("worker.execute_failed",
+                                   device=self.name, request=request.id,
+                                   trace_id=request.trace_id,
+                                   expression=request.expression,
+                                   error=f"{type(exc).__name__}: {exc}")
                 request.resolve_failed(exc, device=self.name)
                 return
             busy = time.perf_counter() - start
+            report.trace_id = request.trace_id
             hit = report.cache.hit if report.cache is not None else None
             self.metrics.record_execution(self.name, busy,
                                           report.timing.total,
                                           cache_hit=hit)
             if request.deadline_expired():
                 # Finished after its deadline: the client contract is
-                # already broken, so the result is discarded and the
-                # request counts as timed out (the busy time still counts
-                # against this device — the work did happen).
-                request.resolve_timed_out("during execution")
+                # already broken, so the request counts as timed out (the
+                # busy time still counts against this device — the work
+                # did happen).  The report rides along for observability:
+                # result() still raises, but debug bundles keep the
+                # evidence of what the late execution did.
+                request.resolve_timed_out("during execution",
+                                          report=report)
                 return
             request.resolve_served(report, device=self.name)
         finally:
@@ -240,6 +250,9 @@ class DeviceWorker:
                 result = self.engine.execute_batch(prepared_list)
         except BaseException as exc:
             busy = (time.perf_counter() - start) / len(runnable)
+            get_logger().error("worker.batch_failed", device=self.name,
+                               batch=len(runnable),
+                               error=f"{type(exc).__name__}: {exc}")
             for request in runnable:
                 self.metrics.record_execution(self.name, busy, 0.0,
                                               cache_hit=None, failed=True)
@@ -257,10 +270,12 @@ class DeviceWorker:
             # request keeps the service's hit-rate denominator meaningful
             # under batching.
             hit = result.hit if position == 0 else True
+            report.trace_id = request.trace_id
             self.metrics.record_execution(self.name, busy, modeled,
                                           cache_hit=hit)
             if request.deadline_expired():
-                request.resolve_timed_out("during execution")
+                request.resolve_timed_out("during execution",
+                                          report=report)
             else:
                 request.resolve_served(report, device=self.name)
             self._settle(request)

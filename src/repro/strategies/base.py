@@ -91,6 +91,10 @@ class ExecutionReport:
     alloc: Optional[AllocationStats] = None
     device_reports: "tuple[DeviceReport, ...]" = ()
     codegen: Optional[CodegenInfo] = None
+    # Correlation id of the trace this execution ran under (None when
+    # the engine ran with the null tracer).  Bundles, trace files, and
+    # service snapshots cross-reference reports by this id.
+    trace_id: Optional[str] = None
 
     # -- stable JSON round-trip ----------------------------------------------
 
@@ -122,6 +126,7 @@ class ExecutionReport:
                 for d in self.device_reports],
             "codegen": (None if self.codegen is None
                         else asdict(self.codegen)),
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -156,6 +161,7 @@ class ExecutionReport:
                 for d in data.get("device_reports", ())),
             codegen=(None if data.get("codegen") is None
                      else CodegenInfo(**data["codegen"])),
+            trace_id=data.get("trace_id"),
         )
 
 

@@ -44,6 +44,7 @@ from ..clsim.perfmodel import KernelCost
 from ..dataflow.network import Network
 from ..dataflow.spec import CONST, SOURCE, NodeSpec
 from ..errors import StrategyError
+from ..obs.log import get_logger
 from ..primitives.base import CallStyle, Primitive, ResultKind, VECTOR_WIDTH
 from .base import ExecutionReport, ExecutionStrategy, ctype_for
 from .bindings import Binding, BindingInput
@@ -236,6 +237,11 @@ class FusionStrategy(ExecutionStrategy):
                 env: CLEnvironment) -> ExecutionReport:
         bindings, n, dtype = self.prepare(network, arrays)
         plan = self.build_plan(network, bindings, n, dtype)
+        log = get_logger()
+        if log.debug_enabled:
+            log.debug("strategy.execute", tracer=env.tracer,
+                      strategy=self.name, device=env.device.name,
+                      n=n, dtype=str(dtype))
         return plan.run(bindings, env)
 
     def build_plan(self, network: Network,

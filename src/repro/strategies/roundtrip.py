@@ -32,6 +32,7 @@ from ..clsim.kernel import Kernel
 from ..clsim.perfmodel import KernelCost
 from ..dataflow.network import Network
 from ..dataflow.spec import CONST, SOURCE
+from ..obs.log import get_logger
 from ..primitives.base import ResultKind
 from .base import ExecutionReport, ExecutionStrategy
 from .bindings import Binding, BindingInput
@@ -146,6 +147,11 @@ class RoundtripStrategy(ExecutionStrategy):
                 env: CLEnvironment) -> ExecutionReport:
         bindings, n, dtype = self.prepare(network, arrays)
         plan = self.build_plan(network, bindings, n, dtype)
+        log = get_logger()
+        if log.debug_enabled:
+            log.debug("strategy.execute", tracer=env.tracer,
+                      strategy=self.name, device=env.device.name,
+                      n=n, dtype=str(dtype))
         return plan.run(bindings, env)
 
     def build_plan(self, network: Network,

@@ -209,6 +209,17 @@ class Tracer:
         with self._lock:
             self._counters.append(sample)
 
+    # -- plan annotations ----------------------------------------------------
+
+    def note_plan(self, key, plan=None, disposition: Optional[str] = None,
+                  ) -> None:
+        """Attach the executable plan the current trace ran to the trace.
+
+        A no-op on the base tracer; the flight recorder
+        (:class:`repro.obs.FlightRecorder`) overrides this to retain the
+        plan key, cache disposition, and generated sweep source for
+        debug bundles.  The engine calls it once per keyed execution."""
+
     # -- device-lane bridging -----------------------------------------------
 
     def add_device_events(self, device: str, events: Iterable, *,

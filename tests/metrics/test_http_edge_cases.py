@@ -1,0 +1,140 @@
+"""HTTP edge cases for the metrics server: byte-accurate
+Content-Length on non-ASCII bodies, JSON 404s, HEAD support, and the
+``add_json_route`` status-pair contract."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.metrics import MetricsRegistry, MetricsServer
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    # Non-ASCII label value: "Content-Length" must count UTF-8 bytes,
+    # not code points, or clients truncate the body.
+    registry.counter("repro_t_total", "t", ("device",)) \
+        .labels(device="gpu-β (Tesla™)").inc(2)
+    return registry
+
+
+def fetch(url, method="GET"):
+    request = urllib.request.Request(url, method=method)
+    with urllib.request.urlopen(request, timeout=10) as reply:
+        return reply.status, dict(reply.headers), reply.read()
+
+
+class TestContentLength:
+    def test_counts_bytes_not_codepoints(self, registry):
+        with MetricsServer(registry) as server:
+            status, headers, body = fetch(server.url("/metrics"))
+        assert status == 200
+        assert int(headers["Content-Length"]) == len(body)
+        text = body.decode("utf-8")
+        assert "gpu-β (Tesla™)" in text
+        assert len(body) > len(text)      # the label is truly non-ASCII
+
+    def test_json_snapshot_content_length(self, registry):
+        with MetricsServer(registry) as server:
+            status, headers, body = fetch(server.url("/metrics.json"))
+        assert int(headers["Content-Length"]) == len(body)
+        snapshot = json.loads(body)
+        assert snapshot["repro_t_total"]["samples"][0]["labels"][
+            "device"] == "gpu-β (Tesla™)"
+
+
+class TestNotFound:
+    def test_404_body_is_json_listing_routes(self, registry):
+        with MetricsServer(registry) as server:
+            server.add_json_route("/healthz", lambda: {"healthy": True})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url("/nope"))
+        err = excinfo.value
+        assert err.code == 404
+        assert err.headers["Content-Type"] == "application/json"
+        payload = json.loads(err.read())
+        assert payload["path"] == "/nope"
+        assert payload["routes"] == ["/healthz", "/metrics",
+                                     "/metrics.json"]
+
+    def test_query_string_stripped_before_routing(self, registry):
+        with MetricsServer(registry) as server:
+            status, _, body = fetch(server.url("/metrics.json?x=1"))
+        assert status == 200
+        assert json.loads(body)
+
+
+class TestHead:
+    def test_head_matches_get_headers_with_empty_body(self, registry):
+        with MetricsServer(registry) as server:
+            get_status, get_headers, get_body = \
+                fetch(server.url("/metrics"))
+            head_status, head_headers, head_body = \
+                fetch(server.url("/metrics"), method="HEAD")
+        assert head_status == get_status == 200
+        assert head_body == b""
+        assert head_headers["Content-Length"] \
+            == get_headers["Content-Length"] == str(len(get_body))
+        assert head_headers["Content-Type"] == get_headers["Content-Type"]
+
+    def test_head_on_unknown_path_is_404(self, registry):
+        with MetricsServer(registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url("/nope"), method="HEAD")
+        assert excinfo.value.code == 404
+
+
+class TestJsonRoutes:
+    def test_plain_payload_served_with_200(self, registry):
+        with MetricsServer(registry) as server:
+            server.add_json_route("/readyz", lambda: {"ready": True})
+            status, headers, body = fetch(server.url("/readyz"))
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body) == {"ready": True}
+
+    def test_status_pair_controls_the_response_code(self, registry):
+        with MetricsServer(registry) as server:
+            server.add_json_route(
+                "/healthz", lambda: (503, {"healthy": False}))
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url("/healthz"))
+        err = excinfo.value
+        assert err.code == 503
+        assert json.loads(err.read()) == {"healthy": False}
+
+    def test_broken_provider_returns_500_json(self, registry):
+        def boom():
+            raise RuntimeError("route exploded")
+
+        with MetricsServer(registry) as server:
+            server.add_json_route("/debugz", boom)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url("/debugz"))
+            # The listener survives a broken route.
+            status, _, _ = fetch(server.url("/metrics.json"))
+        err = excinfo.value
+        assert err.code == 500
+        payload = json.loads(err.read())
+        assert payload["error"] == "RuntimeError"
+        assert status == 200
+
+    def test_route_path_must_be_absolute(self, registry):
+        server = MetricsServer(registry)
+        try:
+            with pytest.raises(ValueError):
+                server.add_json_route("healthz", lambda: {})
+        finally:
+            server.close()
+
+    def test_routes_property_lists_mounts(self, registry):
+        server = MetricsServer(registry)
+        try:
+            server.add_json_route("/healthz", lambda: {})
+            assert server.routes == ("/healthz", "/metrics",
+                                     "/metrics.json")
+        finally:
+            server.close()

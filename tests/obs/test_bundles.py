@@ -1,0 +1,228 @@
+"""Debug-bundle tests: one per trigger, plus the healthy-writes-nothing
+and bounded-writer contracts.
+
+End-to-end triggers (failure, deadline-miss, cancellation) go through a
+real :class:`DerivedFieldService` with a debug-bundle dir; the verdict-
+dependent triggers (codegen-fallback, latency-outlier) drive the
+:class:`Observability` manager directly with crafted requests, which
+keeps them deterministic without monkeypatching worker engines.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis.vortex import EXPRESSION_INPUTS, EXPRESSIONS
+from repro.clsim.device import INTEL_X5660_CPU, MIB
+from repro.errors import (CLOutOfMemoryError, RequestCancelled,
+                          RequestTimedOut)
+from repro.obs import BUNDLE_SCHEMA, BundleWriter, Observability
+from repro.service import DerivedFieldService
+from repro.workloads import SubGrid, make_fields
+
+BUNDLE_FILES = {"manifest.json", "trace.json", "report.json",
+                "plan.json", "metrics.json", "log.jsonl"}
+
+
+@pytest.fixture(scope="module")
+def fields():
+    return make_fields(SubGrid(8, 8, 8), seed=0)
+
+
+def case_inputs(fields, name):
+    return {k: fields[k] for k in EXPRESSION_INPUTS[name]}
+
+
+def bundles_in(root):
+    return sorted(p.parent for p in root.glob("*/manifest.json"))
+
+
+def manifest_of(bundle):
+    return json.loads((bundle / "manifest.json").read_text())
+
+
+class TestServiceTriggers:
+    def test_deadline_miss_writes_bundle(self, fields, tmp_path):
+        root = tmp_path / "bundles"
+        with DerivedFieldService(devices=("cpu",),
+                                 debug_bundle_dir=root) as service:
+            handle = service.submit(EXPRESSIONS["velocity_magnitude"],
+                                    case_inputs(fields,
+                                                "velocity_magnitude"))
+            handle.force_deadline_miss()
+            with pytest.raises(RequestTimedOut):
+                handle.result(timeout=30)
+        bundles = bundles_in(root)
+        assert len(bundles) == 1
+        manifest = manifest_of(bundles[0])
+        assert manifest["schema"] == BUNDLE_SCHEMA
+        assert manifest["trigger"] == "deadline-miss"
+        assert manifest["trace_id"] == handle.trace_id
+        assert manifest["status"] == "timed_out"
+        assert {p.name for p in bundles[0].iterdir()} == BUNDLE_FILES
+        # The report rode along on the forced miss, so the acceptance
+        # cross-check holds: trace device lanes == report counters.
+        report = json.loads((bundles[0] / "report.json").read_text())
+        trace = json.loads((bundles[0] / "trace.json").read_text())
+        lanes = {}
+        for event in trace["traceEvents"]:
+            if event.get("ph") == "X" and event.get("pid", 1) > 1:
+                lanes[event["cat"]] = lanes.get(event["cat"], 0) + 1
+        assert lanes.get("kernel", 0) == report["counts"]["kernel_execs"]
+        assert lanes.get("dev-write", 0) == report["counts"]["dev_writes"]
+        assert lanes.get("dev-read", 0) == report["counts"]["dev_reads"]
+
+    def test_failure_writes_bundle(self, tmp_path):
+        tiny = dataclasses.replace(INTEL_X5660_CPU,
+                                   global_mem_bytes=1 * MIB)
+        big = make_fields(SubGrid(32, 32, 32), seed=5)
+        root = tmp_path / "bundles"
+        with DerivedFieldService(devices=(tiny,),
+                                 debug_bundle_dir=root) as service:
+            doomed = service.submit(EXPRESSIONS["q_criterion"],
+                                    case_inputs(big, "q_criterion"))
+            with pytest.raises(CLOutOfMemoryError):
+                doomed.result(timeout=30)
+        bundles = bundles_in(root)
+        assert len(bundles) == 1
+        manifest = manifest_of(bundles[0])
+        assert manifest["trigger"] == "failure"
+        assert manifest["status"] == "failed"
+        # No report on a failed execution; the slot is explicit null.
+        assert json.loads((bundles[0] / "report.json").read_text()) \
+            is None
+
+    def test_cancellation_writes_bundle(self, fields, tmp_path):
+        root = tmp_path / "bundles"
+        service = DerivedFieldService(devices=("cpu",), start=False,
+                                      debug_bundle_dir=root)
+        try:
+            handle = service.submit(EXPRESSIONS["velocity_magnitude"],
+                                    case_inputs(fields,
+                                                "velocity_magnitude"))
+            handle.cancel()
+            service.start()
+            with pytest.raises(RequestCancelled):
+                handle.result(timeout=30)
+        finally:
+            service.close()
+        bundles = bundles_in(root)
+        assert len(bundles) == 1
+        assert manifest_of(bundles[0])["trigger"] == "cancellation"
+
+    def test_healthy_requests_write_nothing(self, fields, tmp_path):
+        root = tmp_path / "bundles"
+        with DerivedFieldService(devices=("cpu",),
+                                 debug_bundle_dir=root) as service:
+            for _ in range(5):
+                service.execute(EXPRESSIONS["velocity_magnitude"],
+                                case_inputs(fields,
+                                            "velocity_magnitude"),
+                                timeout=30)
+            stats = service.obs.bundles.stats()
+        assert bundles_in(root) == []
+        assert stats["written"] == 0 and stats["skipped"] == 0
+
+
+class FakeRequest:
+    """The attribute surface Observability reads — no service import."""
+
+    def __init__(self, recorder, *, status, latency, expression="q_crit",
+                 report=None, request_id=1):
+        with recorder.span("request", parent=None) as root:
+            with recorder.span("worker.execute"):
+                pass
+        self.trace_id = root.trace_id
+        self.status = status                 # plain string duck-types
+        self.latency = latency
+        self.expression = expression
+        self.report = report
+        self.device = "0:cpu"
+        self.id = request_id
+
+
+class FakeReport:
+    def __init__(self, disposition):
+        self.codegen = type("Codegen", (), {"disposition": disposition})()
+
+    def to_json(self):
+        return {"codegen": {"disposition": self.codegen.disposition}}
+
+
+class TestVerdictTriggers:
+    def test_codegen_fallback_writes_bundle(self, tmp_path):
+        obs = Observability(bundle_dir=tmp_path / "bundles")
+        request = FakeRequest(
+            obs.recorder, status="served", latency=0.002,
+            report=FakeReport("interpreter-fallback"))
+        assert obs.on_request_done(request) == "codegen-fallback"
+        bundles = bundles_in(tmp_path / "bundles")
+        assert len(bundles) == 1
+        manifest = manifest_of(bundles[0])
+        assert manifest["trigger"] == "codegen-fallback"
+        report = json.loads((bundles[0] / "report.json").read_text())
+        assert report["codegen"]["disposition"] == "interpreter-fallback"
+
+    def test_latency_outlier_writes_bundle(self, tmp_path):
+        obs = Observability(bundle_dir=tmp_path / "bundles")
+        for i in range(70):                   # past the SLO warmup
+            obs.on_request_done(FakeRequest(
+                obs.recorder, status="served", latency=0.001,
+                request_id=i))
+        assert bundles_in(tmp_path / "bundles") == []
+        outlier = FakeRequest(obs.recorder, status="served", latency=1.0,
+                              request_id=99)
+        assert obs.on_request_done(outlier) == "latency-outlier"
+        bundles = bundles_in(tmp_path / "bundles")
+        assert len(bundles) == 1
+        manifest = manifest_of(bundles[0])
+        assert manifest["trigger"] == "latency-outlier"
+        assert manifest["trace_id"] == outlier.trace_id
+        assert "p99" in manifest["reason"]
+
+    def test_compiled_disposition_is_not_a_fallback(self, tmp_path):
+        obs = Observability(bundle_dir=tmp_path / "bundles")
+        request = FakeRequest(obs.recorder, status="served",
+                              latency=0.002,
+                              report=FakeReport("compiled"))
+        assert obs.on_request_done(request) is None
+        assert bundles_in(tmp_path / "bundles") == []
+
+
+class TestWriterBounds:
+    def test_max_bundles_caps_and_counts_skips(self, tmp_path):
+        obs = Observability(bundle_dir=tmp_path / "bundles",
+                            max_bundles=2)
+        for i in range(5):
+            obs.on_request_done(FakeRequest(
+                obs.recorder, status="failed", latency=0.001,
+                request_id=i))
+        stats = obs.bundles.stats()
+        assert stats["written"] == 2
+        assert stats["skipped"] == 3
+        assert len(bundles_in(tmp_path / "bundles")) == 2
+
+    def test_index_reads_manifests_in_order(self, tmp_path):
+        obs = Observability(bundle_dir=tmp_path / "bundles")
+        for i in range(3):
+            obs.on_request_done(FakeRequest(
+                obs.recorder, status="failed", latency=0.001,
+                request_id=i))
+        index = obs.bundles.index()
+        assert [m["request_id"] for m in index] == [0, 1, 2]
+        assert all(m["schema"] == BUNDLE_SCHEMA for m in index)
+        assert all("path" in m for m in index)
+
+    def test_broken_record_never_raises(self, tmp_path):
+        writer = BundleWriter(tmp_path / "bundles")
+        # A record whose device_digest explodes must degrade to a skip.
+        class Broken:
+            trace_id = "deadbeef"
+            plan = None
+
+            def device_digest(self):
+                raise RuntimeError("boom")
+
+        assert writer.write(trigger="failure", record=Broken()) is None
+        assert writer.stats()["skipped"] == 1

@@ -1,0 +1,133 @@
+"""Structured-logger unit tests: gating, correlation, slices, sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (LEVELS, NULL_LOGGER, FlightRecorder,
+                       StructuredLogger, get_logger, set_logger)
+
+
+class TestLevels:
+    def test_debug_gated_under_default_info(self):
+        log = StructuredLogger()
+        assert log.debug("engine.execute", device="cpu") is None
+        assert log.emitted_total == 0
+        assert not log.debug_enabled
+
+    def test_set_level_opens_debug(self):
+        log = StructuredLogger()
+        log.set_level("debug")
+        assert log.debug_enabled
+        record = log.debug("engine.execute", device="cpu")
+        assert record["level"] == "debug"
+        assert record["device"] == "cpu"
+
+    def test_level_ordering_matches_severity(self):
+        assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] \
+            < LEVELS["error"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            StructuredLogger(level="loud")
+        with pytest.raises(ValueError):
+            StructuredLogger().set_level("loud")
+
+    def test_none_valued_fields_omitted(self):
+        record = StructuredLogger().info("x", a=1, b=None)
+        assert "b" not in record and record["a"] == 1
+
+
+class TestCorrelation:
+    def test_tracer_stamps_current_span_ids(self):
+        log = StructuredLogger()
+        recorder = FlightRecorder()
+        with recorder.span("request", parent=None) as root:
+            record = log.info("worker.execute", tracer=recorder)
+        assert record["trace_id"] == root.trace_id
+        assert record["span_id"] == root.span_id
+
+    def test_no_current_span_stamps_nothing(self):
+        record = StructuredLogger().info("x", tracer=FlightRecorder())
+        assert "trace_id" not in record
+
+    def test_slice_for_merges_trace_and_context(self):
+        log = StructuredLogger()
+        log.info("a", trace_id="t1")
+        for i in range(3):
+            log.info(f"noise-{i}", trace_id="t2")
+        log.info("b", trace_id="t1")
+        lines = log.slice_for("t1", context=2)
+        events = [r["event"] for r in lines]
+        # Both t1 records, plus the tail context, deduplicated ("b" is
+        # in both the match set and the context tail) and time-ordered.
+        assert events.count("b") == 1
+        assert "a" in events and "noise-2" in events
+        assert events == sorted(events, key=lambda e: 0)  # arrival order
+
+    def test_slice_for_none_returns_context_only(self):
+        log = StructuredLogger()
+        for i in range(5):
+            log.info(f"e{i}")
+        assert [r["event"] for r in log.slice_for(None, context=2)] \
+            == ["e3", "e4"]
+
+    def test_tail_filters_by_trace(self):
+        log = StructuredLogger()
+        log.info("a", trace_id="t1")
+        log.info("b", trace_id="t2")
+        assert [r["event"] for r in log.tail(trace_id="t2")] == ["b"]
+
+
+class TestRingAndSink:
+    def test_ring_bounded(self):
+        log = StructuredLogger(capacity=3)
+        for i in range(10):
+            log.info(f"e{i}")
+        assert [r["event"] for r in log.tail()] == ["e7", "e8", "e9"]
+        assert log.emitted_total == 10
+
+    def test_stream_sink_writes_json_lines(self):
+        sink = io.StringIO()
+        log = StructuredLogger(stream=sink)
+        log.info("served", expression="q_crit", latency_s=0.01)
+        line = json.loads(sink.getvalue())
+        assert line["event"] == "served"
+        assert line["expression"] == "q_crit"
+
+    def test_dead_sink_detaches_and_keeps_serving(self):
+        class Dead:
+            def write(self, text):
+                raise OSError("disk full")
+
+            def flush(self):
+                pass
+
+        log = StructuredLogger(stream=Dead())
+        log.info("first")                   # detaches the sink
+        record = log.info("second")         # keeps logging to the ring
+        assert record is not None
+        assert [r["event"] for r in log.tail()] == ["first", "second"]
+
+    def test_set_stream_attaches_later(self):
+        log = StructuredLogger()
+        sink = io.StringIO()
+        log.set_stream(sink)
+        log.info("x")
+        assert json.loads(sink.getvalue())["event"] == "x"
+
+
+class TestProcessDefault:
+    def test_null_logger_drops_everything(self):
+        assert NULL_LOGGER.error("boom") is None
+        assert NULL_LOGGER.tail() == []
+
+    def test_set_logger_swaps_and_restores(self):
+        mine = StructuredLogger()
+        previous = set_logger(mine)
+        try:
+            assert get_logger() is mine
+        finally:
+            assert set_logger(previous) is mine
+        assert get_logger() is previous

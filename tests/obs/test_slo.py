@@ -1,0 +1,142 @@
+"""SLO-tracker unit tests: rolling p99, outliers, burn rate, health."""
+
+from repro.metrics import MetricsRegistry
+from repro.obs import SloTracker
+
+
+class FakeClock:
+    """Controllable monotonic clock: health windows age only when the
+    test advances time."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def tick(self, dt: float = 0.01) -> float:
+        self.t += dt
+        return self.t
+
+
+def tracked(registry=None, **kwargs):
+    clock = FakeClock()
+    return SloTracker(registry, clock=clock, **kwargs), clock
+
+
+def warm(tracker, clock, expression="q_crit", n=70, latency=0.001):
+    """Feed n healthy observations, advancing the clock each time."""
+    for _ in range(n):
+        tracker.observe(expression, latency, ok=True, now=clock.tick())
+
+
+class TestOutliers:
+    def test_outlier_flagged_after_warmup(self):
+        tracker, clock = tracked()
+        warm(tracker, clock)
+        verdict = tracker.observe("q_crit", 1.0, ok=True,
+                                  now=clock.tick())
+        assert verdict.outlier
+        assert verdict.p99_s is not None
+        assert verdict.threshold_s == \
+            verdict.p99_s * tracker.outlier_factor
+
+    def test_no_outlier_before_warmup(self):
+        tracker, clock = tracked(warmup=64)
+        warm(tracker, clock, n=10)
+        verdict = tracker.observe("q_crit", 5.0, ok=True,
+                                  now=clock.tick())
+        assert not verdict.outlier
+
+    def test_normal_latency_not_an_outlier(self):
+        tracker, clock = tracked()
+        warm(tracker, clock)
+        verdict = tracker.observe("q_crit", 0.0012, ok=True,
+                                  now=clock.tick())
+        assert not verdict.outlier
+
+    def test_p99_tracks_the_window(self):
+        tracker, clock = tracked(window=100, refresh_every=1, warmup=2)
+        warm(tracker, clock, n=50, latency=0.001)
+        summary = tracker.expression_summary()["q_crit"]
+        assert abs(summary["p99_s"] - 0.001) < 1e-9
+
+    def test_expressions_tracked_independently(self):
+        tracker, clock = tracked()
+        warm(tracker, clock, expression="a")
+        verdict = tracker.observe("b", 1.0, ok=True, now=clock.tick())
+        assert not verdict.outlier          # "b" has no baseline yet
+
+
+class TestBurnRate:
+    def test_errors_burn_the_budget(self):
+        tracker, clock = tracked()         # budget 0.1%, limit 2x
+        warm(tracker, clock, n=20)
+        verdict = tracker.observe("q_crit", 0.01, ok=False,
+                                  now=clock.tick())
+        assert verdict.error_ratio > 0
+        assert verdict.burn_rate == \
+            verdict.error_ratio / tracker.error_budget
+        assert not tracker.healthy()
+
+    def test_min_volume_gates_health(self):
+        tracker, clock = tracked(min_volume=20)
+        for _ in range(5):
+            tracker.observe("q_crit", 0.01, ok=False, now=clock.tick())
+        # Burning hard, but five requests is not enough volume to page.
+        assert tracker.healthy()
+
+    def test_time_window_forgets_old_errors(self):
+        tracker, clock = tracked(time_window_s=60.0)
+        for i in range(30):
+            tracker.observe("q_crit", 0.01, ok=(i >= 10),
+                            now=clock.tick())
+        assert not tracker.healthy()
+        # Two minutes later the errors have aged out of the window.
+        clock.tick(120.0)
+        warm(tracker, clock, n=25)
+        summary = tracker.expression_summary()["q_crit"]
+        assert summary["window_errors"] == 0
+        assert tracker.healthy()
+
+    def test_health_payload_shape(self):
+        tracker, clock = tracked()
+        warm(tracker, clock, n=30)
+        for _ in range(10):
+            tracker.observe("q_crit", 0.01, ok=False, now=clock.tick())
+        health = tracker.health()
+        assert health["healthy"] is False
+        assert health["burning"] == ["q_crit"]
+        assert health["expressions"]["q_crit"]["burning"] is True
+        assert 0 < health["objective"] < 1
+
+
+class TestMetrics:
+    def test_bind_registry_publishes_slo_families(self):
+        registry = MetricsRegistry()
+        tracker, clock = tracked(registry)
+        warm(tracker, clock)
+        tracker.observe("q_crit", 1.0, ok=True,
+                        now=clock.tick())               # outlier
+        tracker.observe("q_crit", 0.01, ok=False,
+                        now=clock.tick())               # error
+        snapshot = registry.snapshot()
+        by_expr = {tuple(sorted(s["labels"].items())): s["value"]
+                   for s in snapshot["repro_slo_latency_p99_seconds"]
+                   ["samples"]}
+        assert (("expression", "q_crit"),) in by_expr
+        assert snapshot["repro_slo_latency_outliers_total"]["samples"][0][
+            "value"] == 1.0
+        assert snapshot["repro_slo_errors_total"]["samples"][0][
+            "value"] == 1.0
+        assert snapshot["repro_slo_observations_total"]["samples"][0][
+            "value"] == 72.0
+
+    def test_healthy_gauge_flips_with_burn(self):
+        registry = MetricsRegistry()
+        tracker, clock = tracked(registry)
+        warm(tracker, clock, n=20)
+        assert registry.value("repro_slo_healthy") == 1.0
+        for _ in range(10):
+            tracker.observe("q_crit", 0.01, ok=False, now=clock.tick())
+        assert registry.value("repro_slo_healthy") == 0.0

@@ -1,0 +1,113 @@
+"""``repro top`` tests: bucket-quantile math and frame rendering,
+driven on synthetic registry snapshots plus one live HTTP poll."""
+
+import io
+
+from repro.metrics import MetricsRegistry, MetricsServer
+from repro.obs.top import quantile_from_buckets, render_top, run_top
+
+
+class TestQuantileFromBuckets:
+    def test_interpolates_inside_the_bucket(self):
+        # 10 observations uniform in (0, 1]: p50 lands mid-bucket.
+        bounds = [1.0, 2.0]
+        cumulative = [10, 10, 10]      # ..., then the +Inf count
+        assert quantile_from_buckets(bounds, cumulative, 0.5) == 0.5
+
+    def test_spans_buckets_linearly(self):
+        bounds = [1.0, 2.0]
+        cumulative = [5, 10, 10]
+        # rank 7.5 of 10 -> 2.5/5 through the (1, 2] bucket.
+        assert quantile_from_buckets(bounds, cumulative, 0.75) == 1.5
+
+    def test_inf_bucket_reports_largest_finite_bound(self):
+        bounds = [1.0]
+        cumulative = [0, 10]           # everything above the last bound
+        assert quantile_from_buckets(bounds, cumulative, 0.5) == 1.0
+
+    def test_no_data_returns_none(self):
+        assert quantile_from_buckets([1.0], [], 0.5) is None
+        assert quantile_from_buckets([1.0], [0, 0], 0.5) is None
+
+    def test_empty_bucket_run_returns_bound(self):
+        bounds = [1.0, 2.0]
+        cumulative = [10, 10, 10]
+        assert quantile_from_buckets(bounds, cumulative, 1.0) == 1.0
+
+
+def service_snapshot():
+    """A registry snapshot shaped like a serving process's."""
+    registry = MetricsRegistry()
+    outcomes = registry.counter("repro_service_requests_total", "t",
+                                ("outcome",))
+    outcomes.labels(outcome="served").inc(9)
+    outcomes.labels(outcome="timed_out").inc(1)
+    registry.counter("repro_service_requests_submitted_total", "t") \
+        .inc(12)
+    registry.gauge("repro_service_queue_depth", "t").set(2)
+    latency = registry.histogram(
+        "repro_service_request_latency_seconds", "t", ("expression",),
+        buckets=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.002, 0.005, 0.02):
+        latency.labels(expression="q_crit").observe(value)
+    registry.gauge("repro_slo_latency_p99_seconds", "t",
+                   ("expression",)).labels(expression="q_crit") \
+        .set(0.02)
+    registry.gauge("repro_slo_error_burn_rate", "t", ("expression",)) \
+        .labels(expression="q_crit").set(100.0)
+    registry.counter("repro_slo_latency_outliers_total", "t",
+                     ("expression",)).labels(expression="q_crit").inc()
+    registry.gauge("repro_slo_healthy", "t").set(0.0)
+    return registry.snapshot()
+
+
+class TestRenderTop:
+    def test_frame_reads_outcomes_and_slo(self):
+        frame = render_top(service_snapshot())
+        assert "resolved: 10" in frame
+        assert "in-flight: 2" in frame
+        assert "served=9" in frame and "timed_out=1" in frame
+        assert "expression=q_crit" in frame
+        assert "burn=100.00" in frame
+        assert "outliers=1" in frame
+        assert "health: BURNING" in frame
+
+    def test_latency_quantiles_from_bounds(self):
+        frame = render_top(service_snapshot())
+        # p50 of (0.0005, 0.002, 0.005, 0.02) interpolated from the
+        # (0.001, 0.01] bucket: somewhere in single-digit ms.
+        line = next(l for l in frame.splitlines()
+                    if "expression=q_crit" in l)
+        assert "n=4" in line and "p50=" in line and "p99=" in line
+
+    def test_rate_computed_from_previous_frame(self):
+        snapshot = service_snapshot()
+        prev = service_snapshot()
+        prev["repro_service_requests_total"]["samples"][0]["value"] = 4.0
+        frame = render_top(snapshot, prev, interval=5.0)
+        assert "(1.0 rps)" in frame
+
+    def test_empty_snapshot_renders_placeholders(self):
+        frame = render_top({})
+        assert "(none)" in frame
+        assert "(no latency histogram)" in frame
+        assert "(no SLO data)" in frame
+
+
+class TestRunTop:
+    def test_polls_a_live_metrics_server(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_service_requests_total", "t",
+                         ("outcome",)).labels(outcome="served").inc(3)
+        out = io.StringIO()
+        with MetricsServer(registry) as server:
+            code = run_top(server.url(""), once=True, out=out)
+        assert code == 0
+        assert "resolved: 3" in out.getvalue()
+
+    def test_unreachable_server_exits_nonzero(self):
+        out = io.StringIO()
+        code = run_top("http://127.0.0.1:1/metrics.json", once=True,
+                       out=out)
+        assert code == 1
+        assert "cannot reach" in out.getvalue()

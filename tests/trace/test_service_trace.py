@@ -133,9 +133,24 @@ class TestServiceTracing:
             service.execute("a = u + v", fields, timeout=30)
         assert any(c.name == "queue_depth" for c in tracer.counters)
 
-    def test_untraced_service_snapshot_has_no_trace_records(self, fields):
+    def test_default_service_records_trace_ids_passively(self, fields):
+        # The always-on flight recorder is the default tracer: even
+        # without --trace-dir, every request carries a trace id and the
+        # snapshot keeps trace records (DESIGN.md §12).
         with DerivedFieldService(devices=("cpu",), strategy="fusion") \
                 as service:
+            request = service.submit("a = u + v", fields)
+            request.result(timeout=30)
+            snapshot = service.snapshot()
+        assert request.trace_id is not None
+        assert snapshot["traces"]["recorded"] == 1
+        assert snapshot["traces"]["recent"][0]["trace_id"] \
+            == request.trace_id
+
+    def test_obs_disabled_service_snapshot_has_no_trace_records(
+            self, fields):
+        with DerivedFieldService(devices=("cpu",), strategy="fusion",
+                                 obs=False) as service:
             request = service.submit("a = u + v", fields)
             request.result(timeout=30)
             snapshot = service.snapshot()
